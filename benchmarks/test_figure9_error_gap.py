@@ -1,0 +1,43 @@
+"""Figure 9: normal vs abnormal predicted error for conditional / unconditional models.
+
+The paper's Fig. 9 compares, averaged over all datasets, the predicted error
+of the conditional and unconditional imputed diffusion models on normal data,
+abnormal data, and their difference.  The unconditional model yields a larger
+(relative) error gap, which is why ImDiffusion adopts it.  This benchmark
+prints the same four bars for both variants using the ablation sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from ._helpers import ablation_sweep, bench_datasets, print_header, run_once
+
+VARIANTS = {"Unconditional": "ImDiffusion", "Conditional": "Conditional"}
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_error_gap(benchmark):
+    results = run_once(benchmark, ablation_sweep)
+    datasets = bench_datasets()
+
+    print_header("Figure 9 — predicted error on normal/abnormal data (average over datasets)")
+    print(f"{'variant':16s} {'overall':>9s} {'normal':>9s} {'abnormal':>9s} "
+          f"{'abn-norm':>9s} {'abn/norm':>9s}")
+    stats = {}
+    for label, variant in VARIANTS.items():
+        normal = float(np.mean([results[variant][d].mean_error_normal for d in datasets]))
+        abnormal = float(np.mean([results[variant][d].mean_error_abnormal for d in datasets]))
+        overall = 0.5 * (normal + abnormal)
+        stats[label] = {"normal": normal, "abnormal": abnormal}
+        print(f"{label:16s} {overall:9.4f} {normal:9.4f} {abnormal:9.4f} "
+              f"{abnormal - normal:9.4f} {abnormal / max(normal, 1e-9):9.2f}")
+
+    # Shape check: the unconditional model keeps at least as strong a relative
+    # contrast between abnormal and normal errors as the conditional one.
+    unc = stats["Unconditional"]
+    con = stats["Conditional"]
+    unc_ratio = unc["abnormal"] / max(unc["normal"], 1e-9)
+    con_ratio = con["abnormal"] / max(con["normal"], 1e-9)
+    assert unc_ratio >= 0.8 * con_ratio

@@ -1,0 +1,36 @@
+"""Table 3: metrics of every detector averaged over the six datasets.
+
+The validated shape: ImDiffusion achieves the highest average F1 of all
+detectors, as in Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from ._helpers import bench_datasets, main_sweep, print_header, run_once
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_average(benchmark):
+    results = run_once(benchmark, main_sweep)
+
+    print_header("Table 3 — P / R / F1 / F1-std / R-AUC-PR averaged over datasets")
+    print(f"{'detector':14s} {'P':>7s} {'R':>7s} {'F1':>7s} {'F1-std':>7s} {'R-AUC-PR':>9s}")
+    averages = {}
+    for detector, entries in results.items():
+        datasets = bench_datasets()
+        precision = np.mean([entries[d].summary.precision for d in datasets])
+        recall = np.mean([entries[d].summary.recall for d in datasets])
+        f1 = np.mean([entries[d].summary.f1 for d in datasets])
+        f1_std = np.mean([entries[d].summary.f1_std for d in datasets])
+        r_auc_pr = np.mean([entries[d].summary.r_auc_pr for d in datasets])
+        averages[detector] = f1
+        print(f"{detector:14s} {precision:7.3f} {recall:7.3f} {f1:7.3f} {f1_std:7.3f} {r_auc_pr:9.3f}")
+
+    best = max(averages, key=averages.get)
+    print(f"\nBest average F1: {best} ({averages[best]:.3f})")
+    assert averages["ImDiffusion"] >= 0.95 * averages[best], (
+        "ImDiffusion expected to achieve (close to) the best average F1"
+    )

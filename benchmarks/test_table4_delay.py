@@ -1,0 +1,43 @@
+"""Table 4: Average Detection Delay (ADD) of every detector per dataset.
+
+The validated shape: ImDiffusion's average ADD is among the lowest of all
+detectors (the paper reports the lowest average ADD for ImDiffusion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from ._helpers import bench_datasets, main_sweep, print_header, run_once
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_detection_delay(benchmark):
+    results = run_once(benchmark, main_sweep)
+
+    datasets = bench_datasets()
+    print_header("Table 4 — ADD (mean ± std over runs) per dataset")
+    print(f"{'detector':14s} " + " ".join(f"{d:>12s}" for d in datasets) + f" {'Average':>12s}")
+    average_add = {}
+    for detector, entries in results.items():
+        cells = []
+        values = []
+        for dataset in datasets:
+            summary = entries[dataset].summary
+            cells.append(f"{summary.add:6.1f}±{summary.add_std:4.1f}")
+            values.append(summary.add)
+        average_add[detector] = float(np.mean(values))
+        print(f"{detector:14s} " + " ".join(f"{c:>12s}" for c in cells)
+              + f" {average_add[detector]:12.1f}")
+
+    ranking = sorted(average_add, key=average_add.get)
+    best = average_add[ranking[0]]
+    print(f"\nLowest average ADD: {ranking[0]} ({best:.1f}); "
+          f"ImDiffusion: {average_add['ImDiffusion']:.1f}")
+    # Shape check: ImDiffusion is among the most timely detectors — within a
+    # small margin of the best average ADD (the paper reports the lowest ADD;
+    # at benchmark scale several detectors are tied within a couple of samples).
+    assert average_add["ImDiffusion"] <= max(best * 1.3, best + 3.0), (
+        f"ImDiffusion expected close to the lowest average ADD, ranking: {ranking}"
+    )

@@ -1,0 +1,33 @@
+"""Table 5: per-dataset ablation analysis of the ImDiffusion design choices.
+
+Rows: full ImDiffusion, forecasting / reconstruction modelling modes,
+non-ensemble inference, conditional diffusion, random masking and the
+ImTransformer component removals.  Columns per dataset: P, R, F1, R-AUC-PR
+and ADD — the same layout as Table 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ._helpers import ABLATION_VARIANTS, ablation_sweep, bench_datasets, print_header, run_once
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_ablation(benchmark):
+    results = run_once(benchmark, ablation_sweep)
+
+    print_header("Table 5 — ablations per dataset (P / R / F1 / R-AUC-PR / ADD)")
+    datasets = bench_datasets()
+    for dataset in datasets:
+        print(f"\n--- {dataset} ---")
+        print(f"{'variant':26s} {'P':>7s} {'R':>7s} {'F1':>7s} {'R-AUC-PR':>9s} {'ADD':>8s}")
+        for variant in ABLATION_VARIANTS:
+            summary = results[variant][dataset].summary
+            print(f"{variant:26s} {summary.precision:7.3f} {summary.recall:7.3f} "
+                  f"{summary.f1:7.3f} {summary.r_auc_pr:9.3f} {summary.add:8.1f}")
+
+    # Shape check: every variant produced valid metrics on every dataset.
+    for variant, entries in results.items():
+        for dataset in datasets:
+            assert 0.0 <= entries[dataset].summary.f1 <= 1.0

@@ -1,0 +1,75 @@
+"""Table 7: online production improvement of ImDiffusion over the legacy detector.
+
+The paper deploys ImDiffusion as a latency monitor in the Microsoft email
+delivery system and reports relative improvements over the legacy detector
+(precision, recall, F1, R-AUC-PR, ADD) plus inference throughput.  Here the
+deployment is reproduced on the simulated microservice latency stream of
+:mod:`repro.data.production`: latency is log-transformed (standard practice
+for multiplicative latency noise), the legacy EWMA/k-sigma monitor and
+ImDiffusion both train on recent history and then stream the live split.
+
+Validated shape: ImDiffusion improves F1 over the legacy monitor (the paper
+reports +11.4 %; the magnitude here depends on the simulator's difficulty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.data.production import MicroserviceLatencySimulator, ProductionConfig, ProductionTrace
+from repro.production import LegacyThresholdDetector, compare_with_legacy, run_online_evaluation
+
+from ._helpers import print_header, run_once
+
+
+def _log_trace(seed: int) -> ProductionTrace:
+    config = ProductionConfig(num_services=10, train_days=6.0, test_days=6.0, seed=seed,
+                              incident_min_length=6, incident_max_length=16)
+    trace = MicroserviceLatencySimulator(config).generate()
+    return ProductionTrace(train=np.log(trace.train), test=np.log(trace.test),
+                           test_labels=trace.test_labels, segments=trace.segments)
+
+
+def _imdiffusion_monitor() -> ImDiffusionDetector:
+    config = ImDiffusionConfig(
+        window_size=48, num_steps=10, epochs=4, hidden_dim=24, num_blocks=1,
+        num_masked_windows=4, num_unmasked_windows=4, max_train_windows=48,
+        train_stride=8, deterministic_inference=True, collect="x0",
+        error_percentile=93.0, seed=0,
+    )
+    return ImDiffusionDetector(config)
+
+
+def _run_production_comparison():
+    trace = _log_trace(seed=7)
+    legacy = run_online_evaluation(LegacyThresholdDetector(sigma_threshold=4.0, seed=0),
+                                   trace, rescore_every=64)
+    imdiffusion = run_online_evaluation(_imdiffusion_monitor(), trace, rescore_every=96)
+    return legacy, imdiffusion, compare_with_legacy(imdiffusion, legacy)
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_production_improvement(benchmark):
+    legacy, imdiffusion, comparison = run_once(benchmark, _run_production_comparison)
+
+    print_header("Table 7 — online improvement over the legacy detector")
+    print(f"{'metric':12s} {'legacy':>10s} {'ImDiffusion':>12s} {'improvement':>12s}")
+    print(f"{'Precision':12s} {legacy.metrics.precision:10.3f} {imdiffusion.metrics.precision:12.3f} "
+          f"{comparison['precision_improvement']:+12.1%}")
+    print(f"{'Recall':12s} {legacy.metrics.recall:10.3f} {imdiffusion.metrics.recall:12.3f} "
+          f"{comparison['recall_improvement']:+12.1%}")
+    print(f"{'F1':12s} {legacy.metrics.f1:10.3f} {imdiffusion.metrics.f1:12.3f} "
+          f"{comparison['f1_improvement']:+12.1%}")
+    print(f"{'R-AUC-PR':12s} {legacy.metrics.r_auc_pr:10.3f} {imdiffusion.metrics.r_auc_pr:12.3f} "
+          f"{comparison['r_auc_pr_improvement']:+12.1%}")
+    print(f"{'ADD':12s} {legacy.metrics.add:10.1f} {imdiffusion.metrics.add:12.1f} "
+          f"{comparison['add_reduction']:+12.1%} (positive = faster)")
+    print(f"\nInference efficiency: {comparison['inference_points_per_second']:.1f} points/second "
+          f"(paper: 5.8 points/second on a 10-core CPU at full model size)")
+
+    # Shape check: the replacement improves the headline F1 metric.
+    assert comparison["f1_improvement"] > 0.0, (
+        "ImDiffusion expected to improve F1 over the legacy monitor"
+    )

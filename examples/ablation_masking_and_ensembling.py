@@ -1,0 +1,57 @@
+"""Ablation walkthrough: masking strategies, conditioning and ensembling.
+
+Run with::
+
+    python examples/ablation_masking_and_ensembling.py
+
+This example reproduces, at example scale, the design-choice analysis of
+Sec. 5.3 of the paper on a single dataset: it trains four ImDiffusion
+variants — the full detector, one with random instead of grating masking, a
+conditional diffusion variant and one without ensemble voting — and prints
+the resulting accuracy/timeliness so the effect of each design choice can be
+inspected directly.
+"""
+
+from __future__ import annotations
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.data import load_dataset
+from repro.evaluation import EvaluationSummary, evaluate_labels, format_results_table
+
+
+# The PSM analogue has a high anomaly density (~20 %), so the error-threshold
+# percentile is lowered to give every variant a comparable alarm budget.
+BASE = dict(window_size=40, num_steps=12, epochs=3, hidden_dim=24, num_blocks=1,
+            max_train_windows=24, error_percentile=85.0, seed=0)
+
+VARIANTS = {
+    "ImDiffusion (full)": {},
+    "Random masking": {"masking": "random"},
+    "Conditional diffusion": {"conditioning": "conditional"},
+    "No ensembling": {"ensemble": False},
+}
+
+
+def main() -> None:
+    dataset = load_dataset("PSM", seed=0, scale=0.12)
+    print(f"Dataset: {dataset.name}, {dataset.num_features} features, "
+          f"{dataset.anomaly_ratio:.1%} anomalous timestamps.\n")
+
+    summaries = []
+    for name, overrides in VARIANTS.items():
+        print(f"Training variant: {name} ...")
+        config = ImDiffusionConfig(**{**BASE, **overrides})
+        detector = ImDiffusionDetector(config)
+        result = detector.fit_predict(dataset.train, dataset.test)
+        metrics = evaluate_labels(result.labels, result.scores, dataset.test_labels)
+        summaries.append(EvaluationSummary(detector=name, dataset=dataset.name, runs=[metrics]))
+
+    print("\n" + format_results_table(summaries))
+    print("\nInterpretation guide (matches Sec. 5.3 of the paper):")
+    print(" * grating vs random masking mostly affects ranged-anomaly accuracy (R-AUC-PR) and ADD,")
+    print(" * conditional diffusion narrows the error gap between normal and abnormal points,")
+    print(" * disabling the ensemble removes the step-wise voting that filters false positives.")
+
+
+if __name__ == "__main__":
+    main()

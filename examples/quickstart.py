@@ -1,0 +1,61 @@
+"""Quickstart: train ImDiffusion on an SMD-like dataset and detect anomalies.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script loads the Server-Machine-Dataset analogue, trains a small
+ImDiffusion detector, predicts anomaly labels for the test split and prints
+the point-adjusted precision/recall/F1 together with the detection delay.
+Sizes are kept small so the whole script finishes in well under a minute on a
+laptop CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.data import load_dataset
+from repro.evaluation import evaluate_labels
+
+
+def main() -> None:
+    dataset = load_dataset("SMD", seed=0, scale=0.15)
+    print(f"Dataset   : {dataset.name}  train={dataset.train.shape}  test={dataset.test.shape}")
+    print(f"Anomalies : {dataset.anomaly_ratio:.1%} of test timestamps "
+          f"({len(dataset.segments)} events)")
+
+    config = ImDiffusionConfig(
+        window_size=40,
+        num_steps=12,
+        epochs=3,
+        hidden_dim=24,
+        num_blocks=2,
+        max_train_windows=24,
+        seed=0,
+    )
+    detector = ImDiffusionDetector(config)
+
+    print("\nTraining the imputed diffusion model ...")
+    detector.fit(dataset.train)
+    print("Epoch losses:", [round(loss, 4) for loss in detector.train_losses])
+
+    print("\nRunning ensemble anomaly inference ...")
+    result = detector.predict(dataset.test)
+    metrics = evaluate_labels(result.labels, result.scores, dataset.test_labels)
+
+    print(f"\nPrecision : {metrics.precision:.3f}")
+    print(f"Recall    : {metrics.recall:.3f}")
+    print(f"F1        : {metrics.f1:.3f}")
+    print(f"R-AUC-PR  : {metrics.r_auc_pr:.3f}")
+    print(f"ADD       : {metrics.add:.1f} timestamps")
+    print(f"Throughput: {result.points_per_second:.1f} points/second")
+
+    flagged = int(result.labels.sum())
+    print(f"\nFlagged {flagged} of {result.labels.size} timestamps as anomalous "
+          f"({np.mean(result.labels):.1%}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Server-monitoring scenario: ImDiffusion versus classical baselines.
+
+Run with::
+
+    python examples/server_monitoring_comparison.py
+
+The scenario mirrors the paper's motivating use case — monitoring a fleet of
+servers whose metrics (CPU, memory, I/O, network) are correlated and exhibit
+sparse incidents.  The script evaluates ImDiffusion against three
+representative baselines from different families (isolation trees,
+forecasting, reconstruction) on the SMD analogue and prints a comparison
+table.
+"""
+
+from __future__ import annotations
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.baselines import IsolationForestDetector, LSTMADDetector, OmniAnomalyDetector
+from repro.data import load_dataset
+from repro.evaluation import EvaluationSummary, evaluate_labels, format_results_table
+
+
+def build_imdiffusion(seed: int) -> ImDiffusionDetector:
+    config = ImDiffusionConfig(
+        window_size=40, num_steps=10, epochs=3, hidden_dim=24, num_blocks=1,
+        max_train_windows=24, seed=seed,
+    )
+    return ImDiffusionDetector(config)
+
+
+def main() -> None:
+    dataset = load_dataset("SMD", seed=0, scale=0.12)
+    print(f"Monitoring scenario: {dataset.num_features} server metrics, "
+          f"{dataset.test.shape[0]} timestamps, {len(dataset.segments)} incidents.\n")
+
+    detectors = {
+        "ImDiffusion": build_imdiffusion(0),
+        "IForest": IsolationForestDetector(num_trees=30, seed=0),
+        "LSTM-AD": LSTMADDetector(history=12, epochs=3, seed=0),
+        "OmniAnomaly": OmniAnomalyDetector(window_size=24, epochs=3, seed=0),
+    }
+
+    summaries = []
+    for name, detector in detectors.items():
+        print(f"Running {name} ...")
+        result = detector.fit_predict(dataset.train, dataset.test)
+        metrics = evaluate_labels(result.labels, result.scores, dataset.test_labels)
+        summary = EvaluationSummary(detector=name, dataset=dataset.name, runs=[metrics])
+        summaries.append(summary)
+
+    print("\n" + format_results_table(summaries))
+    best = max(summaries, key=lambda s: s.f1)
+    print(f"\nBest F1: {best.detector} ({best.f1:.3f})")
+
+
+if __name__ == "__main__":
+    main()

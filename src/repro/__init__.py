@@ -1,0 +1,33 @@
+"""repro — a reproduction of ImDiffusion (VLDB 2023).
+
+ImDiffusion combines time-series *imputation* with *diffusion models* for
+multivariate time-series anomaly detection.  This package provides:
+
+* :mod:`repro.core` — the ImDiffusion detector, ensemble voting and thresholds,
+* :mod:`repro.diffusion`, :mod:`repro.masking`, :mod:`repro.models` — the
+  diffusion machinery, masking strategies and the ImTransformer denoiser,
+* :mod:`repro.nn` — a NumPy autograd/neural-network substrate (no PyTorch),
+* :mod:`repro.data` — synthetic analogues of the six benchmark datasets and a
+  production telemetry simulator,
+* :mod:`repro.baselines` — the ten baseline detectors of the paper,
+* :mod:`repro.evaluation` — point-adjusted P/R/F1, R-AUC-PR, ADD and the
+  multi-run experiment harness,
+* :mod:`repro.production` — the online / streaming deployment harness.
+
+Quick start::
+
+    from repro import ImDiffusionConfig, ImDiffusionDetector
+    from repro.data import load_dataset
+    from repro.evaluation import evaluate_labels
+
+    dataset = load_dataset("SMD", seed=0, scale=0.2)
+    detector = ImDiffusionDetector(ImDiffusionConfig(window_size=32, num_steps=10, epochs=3))
+    result = detector.fit_predict(dataset.train, dataset.test)
+    print(evaluate_labels(result.labels, result.scores, dataset.test_labels))
+"""
+
+from .core import DetectionResult, ImDiffusionConfig, ImDiffusionDetector
+
+__version__ = "1.0.0"
+
+__all__ = ["DetectionResult", "ImDiffusionConfig", "ImDiffusionDetector", "__version__"]

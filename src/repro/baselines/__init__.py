@@ -1,0 +1,43 @@
+"""The ten baseline detectors the paper compares ImDiffusion against."""
+
+from .base import BaseDetector, BaselineResult
+from .beatgan import BeatGANDetector
+from .gdn import GDNDetector
+from .iforest import IsolationForestDetector
+from .interfusion import InterFusionDetector
+from .lstm_ad import LSTMADDetector
+from .mad_gan import MADGANDetector
+from .mscred import MSCREDDetector
+from .mtad_gat import MTADGATDetector
+from .omni_anomaly import OmniAnomalyDetector
+from .tranad import TranADDetector
+
+#: Registry mapping the paper's baseline names to their implementations.
+BASELINE_REGISTRY = {
+    "IForest": IsolationForestDetector,
+    "BeatGAN": BeatGANDetector,
+    "LSTM-AD": LSTMADDetector,
+    "InterFusion": InterFusionDetector,
+    "OmniAnomaly": OmniAnomalyDetector,
+    "GDN": GDNDetector,
+    "MAD-GAN": MADGANDetector,
+    "MTAD-GAT": MTADGATDetector,
+    "MSCRED": MSCREDDetector,
+    "TranAD": TranADDetector,
+}
+
+__all__ = [
+    "BaseDetector",
+    "BaselineResult",
+    "BASELINE_REGISTRY",
+    "IsolationForestDetector",
+    "BeatGANDetector",
+    "LSTMADDetector",
+    "InterFusionDetector",
+    "OmniAnomalyDetector",
+    "GDNDetector",
+    "MADGANDetector",
+    "MTADGATDetector",
+    "MSCREDDetector",
+    "TranADDetector",
+]

@@ -1,0 +1,125 @@
+"""Common scaffolding shared by the baseline anomaly detectors.
+
+Every baseline in this package follows the same protocol as
+:class:`repro.core.ImDiffusionDetector`:
+
+* ``fit(train)`` learns from a (mostly normal) training series,
+* ``score(test)`` produces one continuous anomaly score per test timestamp,
+* ``predict(test)`` thresholds the scores (upper percentile by default, POT
+  for the detectors whose original papers use it) and returns a
+  :class:`BaselineResult` exposing ``labels`` and ``scores`` so the
+  evaluation runner treats every detector identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.thresholding import apply_threshold, percentile_threshold, pot_threshold
+from ..data.preprocessing import StandardScaler
+from ..data.windows import overlap_average, sliding_windows
+
+__all__ = ["BaselineResult", "BaseDetector"]
+
+
+@dataclass
+class BaselineResult:
+    """Prediction of a baseline detector: binary labels plus raw scores."""
+
+    labels: np.ndarray
+    scores: np.ndarray
+
+
+class BaseDetector(ABC):
+    """Abstract base class for the ten baseline detectors.
+
+    Parameters
+    ----------
+    threshold_percentile:
+        Upper percentile of the test scores used as the anomaly threshold.
+    use_pot:
+        Use the Peaks-Over-Threshold estimator instead of a fixed percentile
+        (OmniAnomaly's protocol).
+    seed:
+        Seed of the detector's private random generator.
+    """
+
+    name: str = "Base"
+
+    def __init__(self, threshold_percentile: float = 97.0, use_pot: bool = False,
+                 seed: int = 0) -> None:
+        self.threshold_percentile = threshold_percentile
+        self.use_pot = use_pot
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.scaler = StandardScaler()
+        self._num_features: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _fit(self, train: np.ndarray) -> None:
+        """Detector-specific training on the scaled series."""
+
+    @abstractmethod
+    def _score(self, test: np.ndarray) -> np.ndarray:
+        """Detector-specific scoring of the scaled series (one score per timestamp)."""
+
+    # ------------------------------------------------------------------
+    def fit(self, train: np.ndarray) -> "BaseDetector":
+        train = self._validate(train, fitting=True)
+        scaled = self.scaler.fit_transform(train)
+        self._fit(scaled)
+        return self
+
+    def score(self, test: np.ndarray) -> np.ndarray:
+        test = self._validate(test, fitting=False)
+        scaled = self.scaler.transform(test)
+        scores = np.asarray(self._score(scaled), dtype=np.float64)
+        if scores.shape != (test.shape[0],):
+            raise RuntimeError(
+                f"{self.name}: _score returned shape {scores.shape}, expected ({test.shape[0]},)"
+            )
+        return scores
+
+    def predict(self, test: np.ndarray) -> BaselineResult:
+        scores = self.score(test)
+        if self.use_pot:
+            threshold = pot_threshold(scores)
+        else:
+            threshold = percentile_threshold(scores, self.threshold_percentile)
+        return BaselineResult(labels=apply_threshold(scores, threshold), scores=scores)
+
+    def fit_predict(self, train: np.ndarray, test: np.ndarray) -> BaselineResult:
+        return self.fit(train).predict(test)
+
+    # ------------------------------------------------------------------
+    def _validate(self, data: np.ndarray, fitting: bool) -> np.ndarray:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array of shape (time, features)")
+        if fitting:
+            self._num_features = data.shape[1]
+        elif self._num_features is None:
+            raise RuntimeError(f"{self.name} must be fitted before scoring")
+        elif data.shape[1] != self._num_features:
+            raise ValueError(
+                f"{self.name} was fitted on {self._num_features} features, got {data.shape[1]}"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the window-based baselines
+    # ------------------------------------------------------------------
+    def _windows(self, series: np.ndarray, window_size: int, stride: int) -> Tuple[np.ndarray, np.ndarray]:
+        window_size = min(window_size, series.shape[0])
+        return sliding_windows(series, window_size, stride)
+
+    @staticmethod
+    def _merge_window_scores(window_scores: np.ndarray, starts: np.ndarray,
+                             length: int) -> np.ndarray:
+        """Average overlapping per-window, per-timestamp scores back to a series."""
+        return overlap_average(window_scores, starts, length)

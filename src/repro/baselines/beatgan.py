@@ -1,0 +1,106 @@
+"""BeatGAN (Zhou et al., 2019): adversarially regularised reconstruction.
+
+An encoder-decoder generator reconstructs windows of the series while a
+discriminator tries to tell reconstructions from real windows; the generator
+is trained with a reconstruction loss plus an adversarial feature-matching
+term.  The anomaly score of a timestamp is its reconstruction error averaged
+over the windows that contain it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Adam, MLP, Sequential, Sigmoid, Linear, ReLU, Tensor, clip_grad_norm
+from ..nn import functional as F
+from .base import BaseDetector
+
+__all__ = ["BeatGANDetector"]
+
+
+class BeatGANDetector(BaseDetector):
+    """GAN-regularised autoencoder over flattened windows."""
+
+    name = "BeatGAN"
+
+    def __init__(self, window_size: int = 32, latent_dim: int = 16, hidden_dim: int = 64,
+                 epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
+                 adversarial_weight: float = 0.1, max_train_windows: int = 128,
+                 threshold_percentile: float = 97.0, seed: int = 0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+        self.window_size = window_size
+        self.latent_dim = latent_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.adversarial_weight = adversarial_weight
+        self.max_train_windows = max_train_windows
+        self._encoder: Optional[MLP] = None
+        self._decoder: Optional[MLP] = None
+        self._discriminator: Optional[Sequential] = None
+        self._window_size = window_size
+
+    # ------------------------------------------------------------------
+    def _fit(self, train: np.ndarray) -> None:
+        num_features = train.shape[1]
+        self._window_size = min(self.window_size, train.shape[0])
+        flat_dim = self._window_size * num_features
+
+        self._encoder = MLP([flat_dim, self.hidden_dim, self.latent_dim], rng=self.rng)
+        self._decoder = MLP([self.latent_dim, self.hidden_dim, flat_dim], rng=self.rng)
+        self._discriminator = Sequential(
+            Linear(flat_dim, self.hidden_dim, rng=self.rng), ReLU(),
+            Linear(self.hidden_dim, 1, rng=self.rng), Sigmoid(),
+        )
+
+        windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
+        flat = windows.reshape(windows.shape[0], -1)
+        if flat.shape[0] > self.max_train_windows:
+            idx = self.rng.choice(flat.shape[0], size=self.max_train_windows, replace=False)
+            flat = flat[idx]
+
+        generator_params = self._encoder.parameters() + self._decoder.parameters()
+        generator_opt = Adam(generator_params, lr=self.learning_rate)
+        discriminator_opt = Adam(self._discriminator.parameters(), lr=self.learning_rate)
+
+        for _ in range(self.epochs):
+            order = self.rng.permutation(flat.shape[0])
+            for start in range(0, flat.shape[0], self.batch_size):
+                batch = Tensor(flat[order[start:start + self.batch_size]])
+                batch_size = batch.shape[0]
+
+                # --- discriminator step: real vs reconstructed windows ---
+                reconstruction = self._decoder(self._encoder(batch)).detach()
+                discriminator_opt.zero_grad()
+                real_pred = self._discriminator(batch)
+                fake_pred = self._discriminator(reconstruction)
+                d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
+                    F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
+                d_loss.backward()
+                discriminator_opt.step()
+
+                # --- generator step: reconstruction + fool the discriminator ---
+                generator_opt.zero_grad()
+                reconstruction = self._decoder(self._encoder(batch))
+                recon_loss = F.mse_loss(reconstruction, batch)
+                adv_pred = self._discriminator(reconstruction)
+                adv_loss = F.binary_cross_entropy(adv_pred, Tensor(np.ones((batch_size, 1))))
+                loss = recon_loss + self.adversarial_weight * adv_loss
+                loss.backward()
+                clip_grad_norm(generator_params, 5.0)
+                generator_opt.step()
+
+    def _score(self, test: np.ndarray) -> np.ndarray:
+        num_features = test.shape[1]
+        windows, starts = self._windows(test, self._window_size, self._window_size // 2 or 1)
+        flat = windows.reshape(windows.shape[0], -1)
+        window_errors = np.zeros((windows.shape[0], windows.shape[1]))
+        for start in range(0, flat.shape[0], self.batch_size):
+            chunk = slice(start, start + self.batch_size)
+            reconstruction = self._decoder(self._encoder(Tensor(flat[chunk]))).data
+            reshaped = reconstruction.reshape(-1, windows.shape[1], num_features)
+            window_errors[chunk] = ((reshaped - windows[chunk]) ** 2).mean(axis=2)
+        return self._merge_window_scores(window_errors, starts, test.shape[0])

@@ -1,0 +1,89 @@
+"""LSTM-AD (Malhotra et al., 2015): LSTM forecasting with prediction-error scoring.
+
+A stacked LSTM observes a short history window and predicts the next
+timestamp; the anomaly score of a timestamp is the mean squared prediction
+error over all channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Adam, LSTM, Linear, Tensor, clip_grad_norm
+from ..nn import functional as F
+from .base import BaseDetector
+
+__all__ = ["LSTMADDetector"]
+
+
+class LSTMADDetector(BaseDetector):
+    """Forecasting-based detector: score = next-step prediction error."""
+
+    name = "LSTM-AD"
+
+    def __init__(self, history: int = 16, hidden_size: int = 32, num_layers: int = 1,
+                 epochs: int = 5, batch_size: int = 32, learning_rate: float = 5e-3,
+                 max_train_samples: int = 512, threshold_percentile: float = 97.0,
+                 seed: int = 0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+        self.history = history
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.max_train_samples = max_train_samples
+        self._lstm: Optional[LSTM] = None
+        self._head: Optional[Linear] = None
+
+    # ------------------------------------------------------------------
+    def _make_samples(self, series: np.ndarray) -> tuple:
+        """Slice (history, next value) pairs from a series."""
+        history = min(self.history, series.shape[0] - 1)
+        inputs, targets, positions = [], [], []
+        for t in range(history, series.shape[0]):
+            inputs.append(series[t - history:t])
+            targets.append(series[t])
+            positions.append(t)
+        return np.asarray(inputs), np.asarray(targets), np.asarray(positions)
+
+    def _fit(self, train: np.ndarray) -> None:
+        num_features = train.shape[1]
+        self._lstm = LSTM(num_features, self.hidden_size, num_layers=self.num_layers,
+                          rng=self.rng)
+        self._head = Linear(self.hidden_size, num_features, rng=self.rng)
+        parameters = self._lstm.parameters() + self._head.parameters()
+        optimizer = Adam(parameters, lr=self.learning_rate)
+
+        inputs, targets, _ = self._make_samples(train)
+        if inputs.shape[0] > self.max_train_samples:
+            idx = self.rng.choice(inputs.shape[0], size=self.max_train_samples, replace=False)
+            inputs, targets = inputs[idx], targets[idx]
+
+        for _ in range(self.epochs):
+            order = self.rng.permutation(inputs.shape[0])
+            for start in range(0, inputs.shape[0], self.batch_size):
+                batch = order[start:start + self.batch_size]
+                optimizer.zero_grad()
+                _, last_hidden = self._lstm(Tensor(inputs[batch]))
+                prediction = self._head(last_hidden)
+                loss = F.mse_loss(prediction, Tensor(targets[batch]))
+                loss.backward()
+                clip_grad_norm(parameters, 5.0)
+                optimizer.step()
+
+    def _score(self, test: np.ndarray) -> np.ndarray:
+        inputs, targets, positions = self._make_samples(test)
+        scores = np.zeros(test.shape[0])
+        for start in range(0, inputs.shape[0], self.batch_size):
+            chunk = slice(start, start + self.batch_size)
+            _, last_hidden = self._lstm(Tensor(inputs[chunk]))
+            prediction = self._head(last_hidden).data
+            errors = ((prediction - targets[chunk]) ** 2).mean(axis=1)
+            scores[positions[chunk]] = errors
+        # The first `history` timestamps have no prediction; use the median score.
+        if inputs.shape[0] > 0:
+            scores[:positions[0]] = np.median(scores[positions])
+        return scores

@@ -1,0 +1,21 @@
+"""Core ImDiffusion detector: configuration, ensemble inference and thresholding."""
+
+from .config import ImDiffusionConfig
+from .detector import DetectionResult, ImDiffusionDetector
+from .ensemble import EnsembleDecision, EnsembleVoter, select_voting_steps
+from .modes import build_masks, recommended_stride
+from .thresholding import apply_threshold, percentile_threshold, pot_threshold
+
+__all__ = [
+    "ImDiffusionConfig",
+    "DetectionResult",
+    "ImDiffusionDetector",
+    "EnsembleDecision",
+    "EnsembleVoter",
+    "select_voting_steps",
+    "build_masks",
+    "recommended_stride",
+    "apply_threshold",
+    "percentile_threshold",
+    "pot_threshold",
+]

@@ -1,0 +1,149 @@
+"""Ensemble anomaly inference over the denoising steps (Sec. 4.5, Algorithm 1).
+
+The diffusion imputer produces a prediction-error series for every denoising
+step.  Steps are indexed here by *denoising progress* ``k = 1 .. T`` where
+``k = T`` is the final, fully denoised output (this matches Fig. 8 of the
+paper, whose "denoising step 50" is the last one).  For each selected step the
+error series is thresholded with the step-adaptive threshold of Eq. (12), the
+per-step anomaly labels are treated as votes, and a timestamp is flagged as
+anomalous when it receives more than ``xi`` votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .thresholding import apply_threshold, percentile_threshold
+
+__all__ = ["EnsembleDecision", "EnsembleVoter", "select_voting_steps"]
+
+
+def select_voting_steps(num_steps: int, last_fraction: float, stride: int) -> List[int]:
+    """Denoising-progress indices used for voting.
+
+    The paper samples every 3rd of the last 30 steps of a 50-step chain; this
+    helper generalises that to ``stride`` within the trailing ``last_fraction``
+    of an arbitrary-length chain.  The final step is always included.
+    """
+    if num_steps < 1:
+        raise ValueError("num_steps must be positive")
+    if not 0.0 < last_fraction <= 1.0:
+        raise ValueError("last_fraction must be in (0, 1]")
+    if stride < 1:
+        raise ValueError("stride must be at least 1")
+    first = max(1, int(np.ceil(num_steps * (1.0 - last_fraction))) + 1)
+    steps = list(range(first, num_steps + 1, stride))
+    if not steps or steps[-1] != num_steps:
+        steps.append(num_steps)
+    return sorted(set(steps))
+
+
+@dataclass
+class EnsembleDecision:
+    """Full output of the ensemble voting procedure (useful for diagnostics)."""
+
+    labels: np.ndarray
+    votes: np.ndarray
+    vote_threshold: float
+    step_labels: Dict[int, np.ndarray]
+    step_thresholds: Dict[int, float]
+    voting_steps: List[int]
+
+
+class EnsembleVoter:
+    """Aggregate per-step imputation errors into final anomaly labels.
+
+    Parameters
+    ----------
+    error_percentile:
+        Upper percentile of the *final-step* error used as the base threshold
+        ``tau_T`` in Eq. (12).
+    vote_fraction:
+        The vote threshold ``xi`` expressed as a fraction of the number of
+        voting steps (a timestamp must receive strictly more votes than
+        ``vote_fraction * num_voting_steps``).
+    step_stride, last_fraction:
+        Which denoising steps participate in the vote, see
+        :func:`select_voting_steps`.
+    """
+
+    def __init__(self, error_percentile: float = 97.5, vote_fraction: float = 0.5,
+                 step_stride: int = 3, last_fraction: float = 0.6) -> None:
+        self.error_percentile = error_percentile
+        self.vote_fraction = vote_fraction
+        self.step_stride = step_stride
+        self.last_fraction = last_fraction
+
+    # ------------------------------------------------------------------
+    def step_threshold(self, step_errors: Dict[int, np.ndarray], step: int,
+                       final_step: int) -> float:
+        """Step-adaptive threshold ``tau_k`` of Eq. (12).
+
+        ``tau_k = (sum(E_final) / sum(E_k)) * tau_final``: steps whose total
+        error is larger (poorer imputations, typically early steps) receive a
+        proportionally *smaller* percentile threshold so that only their most
+        confident detections survive.
+        """
+        final_errors = step_errors[final_step]
+        tau_final = percentile_threshold(final_errors, self.error_percentile)
+        total_final = float(np.sum(final_errors))
+        total_step = float(np.sum(step_errors[step]))
+        if total_step <= 0:
+            return tau_final
+        ratio = total_final / total_step
+        return ratio * tau_final
+
+    def vote(self, step_errors: Dict[int, np.ndarray]) -> EnsembleDecision:
+        """Run the full voting procedure of Algorithm 1.
+
+        Parameters
+        ----------
+        step_errors:
+            Mapping from denoising progress ``k`` (1 = noisiest, max = final)
+            to a per-timestamp error array.  All arrays must share a shape.
+        """
+        if not step_errors:
+            raise ValueError("step_errors is empty")
+        steps = sorted(step_errors)
+        final_step = steps[-1]
+        length = step_errors[final_step].shape[0]
+
+        voting_steps = [s for s in select_voting_steps(final_step, self.last_fraction,
+                                                       self.step_stride)
+                        if s in step_errors]
+        if final_step not in voting_steps:
+            voting_steps.append(final_step)
+
+        votes = np.zeros(length, dtype=np.int64)
+        step_labels: Dict[int, np.ndarray] = {}
+        step_thresholds: Dict[int, float] = {}
+        for step in voting_steps:
+            threshold = self.step_threshold(step_errors, step, final_step)
+            labels = apply_threshold(step_errors[step], threshold)
+            step_labels[step] = labels
+            step_thresholds[step] = threshold
+            votes += labels
+
+        vote_threshold = self.vote_fraction * len(voting_steps)
+        final_labels = (votes > vote_threshold).astype(np.int64)
+        return EnsembleDecision(
+            labels=final_labels,
+            votes=votes,
+            vote_threshold=float(vote_threshold),
+            step_labels=step_labels,
+            step_thresholds=step_thresholds,
+            voting_steps=voting_steps,
+        )
+
+    # ------------------------------------------------------------------
+    def single_step_labels(self, step_errors: Dict[int, np.ndarray]) -> np.ndarray:
+        """Non-ensemble fallback: threshold only the final-step error (Sec. 5.3.2)."""
+        if not step_errors:
+            raise ValueError("step_errors is empty")
+        final_step = max(step_errors)
+        errors = step_errors[final_step]
+        threshold = percentile_threshold(errors, self.error_percentile)
+        return apply_threshold(errors, threshold)

@@ -1,0 +1,63 @@
+"""Anomaly-score thresholding strategies.
+
+ImDiffusion uses an upper-percentile threshold on imputed errors (with the
+step-dependent rescaling of Eq. 12 handled in :mod:`repro.core.ensemble`).
+The Peaks-Over-Threshold (POT) estimator used by OmniAnomaly is provided as
+well, both for that baseline and as an alternative thresholding choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["percentile_threshold", "pot_threshold", "apply_threshold"]
+
+
+def percentile_threshold(errors: np.ndarray, percentile: float) -> float:
+    """Upper-percentile threshold over an error series."""
+    errors = np.asarray(errors, dtype=np.float64)
+    if errors.size == 0:
+        raise ValueError("cannot derive a threshold from an empty error array")
+    if not 0.0 < percentile < 100.0:
+        raise ValueError("percentile must be in (0, 100)")
+    return float(np.percentile(errors, percentile))
+
+
+def pot_threshold(errors: np.ndarray, initial_quantile: float = 0.98,
+                  risk: float = 1e-3) -> float:
+    """Peaks-Over-Threshold threshold (Siffer et al., 2017).
+
+    A generalised Pareto distribution is fitted to the exceedances above an
+    initial high quantile ``t0``; the final threshold is the level whose
+    exceedance probability equals ``risk``.  Falls back to the initial
+    quantile when there are too few exceedances to fit the tail.
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    if errors.size == 0:
+        raise ValueError("cannot derive a threshold from an empty error array")
+    if not 0.0 < initial_quantile < 1.0:
+        raise ValueError("initial_quantile must be in (0, 1)")
+    t0 = float(np.quantile(errors, initial_quantile))
+    exceedances = errors[errors > t0] - t0
+    if exceedances.size < 10:
+        return t0
+    shape, _, scale = stats.genpareto.fit(exceedances, floc=0.0)
+    num = errors.size
+    num_exceed = exceedances.size
+    if abs(shape) < 1e-9:
+        # Exponential tail limit of the GPD.
+        quantile = t0 + scale * np.log(num_exceed / (risk * num))
+    else:
+        quantile = t0 + (scale / shape) * ((risk * num / num_exceed) ** (-shape) - 1.0)
+    if not np.isfinite(quantile) or quantile <= t0:
+        return t0
+    return float(quantile)
+
+
+def apply_threshold(errors: np.ndarray, threshold: float) -> np.ndarray:
+    """Binary anomaly labels: 1 where ``errors >= threshold``."""
+    errors = np.asarray(errors, dtype=np.float64)
+    return (errors >= threshold).astype(np.int64)

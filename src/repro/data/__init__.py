@@ -1,0 +1,31 @@
+"""Data substrate: synthetic benchmark analogues, windowing and preprocessing."""
+
+from .anomalies import ANOMALY_TYPES, AnomalySegment, inject_anomalies
+from .datasets import DATASET_PROFILES, DatasetProfile, MTSDataset, list_datasets, load_dataset
+from .generators import MTSConfig, generate_latent_factors, generate_mts
+from .preprocessing import MinMaxScaler, StandardScaler
+from .production import MicroserviceLatencySimulator, ProductionConfig, ProductionTrace
+from .windows import label_windows, overlap_average, sliding_windows, window_starts
+
+__all__ = [
+    "ANOMALY_TYPES",
+    "AnomalySegment",
+    "inject_anomalies",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "MTSDataset",
+    "list_datasets",
+    "load_dataset",
+    "MTSConfig",
+    "generate_latent_factors",
+    "generate_mts",
+    "MinMaxScaler",
+    "StandardScaler",
+    "MicroserviceLatencySimulator",
+    "ProductionConfig",
+    "ProductionTrace",
+    "label_windows",
+    "overlap_average",
+    "sliding_windows",
+    "window_starts",
+]

@@ -1,0 +1,186 @@
+"""Anomaly injection for synthetic multivariate time series.
+
+The injectors implement the anomaly archetypes documented for the paper's six
+benchmark datasets: point spikes, level shifts, trend drifts, amplitude
+(contextual) changes, flat-lined sensors, noise bursts and correlation breaks
+between channels.  Each injector modifies a copy of the series inside a given
+segment and the caller records the segment in the binary label vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AnomalySegment",
+    "ANOMALY_TYPES",
+    "inject_anomalies",
+    "inject_spike",
+    "inject_level_shift",
+    "inject_drift",
+    "inject_amplitude_change",
+    "inject_flatline",
+    "inject_noise_burst",
+    "inject_correlation_break",
+]
+
+
+@dataclass(frozen=True)
+class AnomalySegment:
+    """A labelled anomalous interval ``[start, end)`` affecting ``channels``."""
+
+    start: int
+    end: int
+    kind: str
+    channels: Tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def _pick_channels(num_features: int, rng: np.random.Generator,
+                   min_fraction: float = 0.2, max_fraction: float = 0.7) -> np.ndarray:
+    count = max(1, int(round(rng.uniform(min_fraction, max_fraction) * num_features)))
+    return rng.choice(num_features, size=min(count, num_features), replace=False)
+
+
+def inject_spike(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                 rng: np.random.Generator) -> None:
+    """Large instantaneous deviations on a few timestamps inside the segment."""
+    magnitude = rng.uniform(4.0, 8.0)
+    sign = rng.choice([-1.0, 1.0])
+    scale = series[:, channels].std(axis=0) + 1e-6
+    for t in range(start, end):
+        series[t, channels] += sign * magnitude * scale
+
+
+def inject_level_shift(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                       rng: np.random.Generator) -> None:
+    """A sustained shift of the mean level for the duration of the segment."""
+    scale = series[:, channels].std(axis=0) + 1e-6
+    shift = rng.choice([-1.0, 1.0]) * rng.uniform(2.5, 5.0) * scale
+    series[start:end, channels] += shift
+
+
+def inject_drift(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                 rng: np.random.Generator) -> None:
+    """A ramp that grows linearly over the segment (slow degradation)."""
+    scale = series[:, channels].std(axis=0) + 1e-6
+    ramp = np.linspace(0.0, 1.0, end - start)[:, None]
+    series[start:end, channels] += rng.choice([-1.0, 1.0]) * rng.uniform(3.0, 6.0) * ramp * scale
+
+
+def inject_amplitude_change(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                            rng: np.random.Generator) -> None:
+    """Contextual anomaly: oscillation amplitude is multiplied inside the segment."""
+    segment = series[start:end, channels]
+    center = segment.mean(axis=0)
+    factor = rng.uniform(3.0, 5.0)
+    series[start:end, channels] = center + (segment - center) * factor
+
+
+def inject_flatline(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                    rng: np.random.Generator) -> None:
+    """Stuck-sensor anomaly: the channel freezes at its value at segment start."""
+    series[start:end, channels] = series[start, channels]
+
+
+def inject_noise_burst(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                       rng: np.random.Generator) -> None:
+    """High-variance noise burst (telemetry corruption)."""
+    scale = series[:, channels].std(axis=0) + 1e-6
+    burst = rng.normal(0.0, 3.0, size=(end - start, len(channels))) * scale
+    series[start:end, channels] += burst
+
+
+def inject_correlation_break(series: np.ndarray, start: int, end: int, channels: np.ndarray,
+                             rng: np.random.Generator) -> None:
+    """Inter-metric anomaly: correlated channels are replaced by shuffled copies.
+
+    Individual channel marginals stay plausible, but the cross-channel
+    relationship is destroyed — only a detector that models inter-metric
+    dependencies can see this anomaly.
+    """
+    segment = series[start:end, channels].copy()
+    permutation = rng.permutation(end - start)
+    series[start:end, channels] = segment[permutation]
+
+
+ANOMALY_TYPES: Dict[str, Callable[..., None]] = {
+    "spike": inject_spike,
+    "level_shift": inject_level_shift,
+    "drift": inject_drift,
+    "amplitude": inject_amplitude_change,
+    "flatline": inject_flatline,
+    "noise_burst": inject_noise_burst,
+    "correlation_break": inject_correlation_break,
+}
+
+
+def inject_anomalies(
+    series: np.ndarray,
+    rng: np.random.Generator,
+    anomaly_types: Sequence[str],
+    anomaly_fraction: float = 0.05,
+    min_length: int = 5,
+    max_length: int = 40,
+    point_anomaly_length: int = 2,
+) -> Tuple[np.ndarray, np.ndarray, List[AnomalySegment]]:
+    """Inject anomalous segments until roughly ``anomaly_fraction`` of points are abnormal.
+
+    Parameters
+    ----------
+    series:
+        Array of shape ``(length, num_features)``; a modified copy is returned.
+    anomaly_types:
+        Names from :data:`ANOMALY_TYPES` to sample from (with replacement).
+    anomaly_fraction:
+        Target fraction of anomalous timestamps.
+    min_length, max_length:
+        Bounds of the segment lengths for range anomalies.
+    point_anomaly_length:
+        Length used for ``spike`` anomalies (they are near-instantaneous).
+
+    Returns
+    -------
+    (anomalous_series, labels, segments)
+        ``labels`` is a ``(length,)`` array of 0/1 flags; ``segments`` lists
+        the injected intervals for delay-evaluation purposes.
+    """
+    unknown = set(anomaly_types) - set(ANOMALY_TYPES)
+    if unknown:
+        raise ValueError(f"unknown anomaly types: {sorted(unknown)}")
+    if not 0.0 < anomaly_fraction < 0.5:
+        raise ValueError("anomaly_fraction must be in (0, 0.5)")
+
+    series = np.array(series, dtype=np.float64, copy=True)
+    length, num_features = series.shape
+    labels = np.zeros(length, dtype=np.int64)
+    segments: List[AnomalySegment] = []
+    target = int(anomaly_fraction * length)
+    guard = 0
+    while labels.sum() < target and guard < 1000:
+        guard += 1
+        kind = str(rng.choice(list(anomaly_types)))
+        if kind == "spike":
+            seg_length = point_anomaly_length
+        else:
+            seg_length = int(rng.integers(min_length, max_length + 1))
+        seg_length = min(seg_length, length - 2)
+        start = int(rng.integers(1, length - seg_length))
+        end = start + seg_length
+        # Keep segments separated so delay metrics see distinct events.
+        buffer = 5
+        window = labels[max(0, start - buffer):min(length, end + buffer)]
+        if window.any():
+            continue
+        channels = _pick_channels(num_features, rng)
+        ANOMALY_TYPES[kind](series, start, end, channels, rng)
+        labels[start:end] = 1
+        segments.append(AnomalySegment(start, end, kind, tuple(int(c) for c in channels)))
+    segments.sort(key=lambda s: s.start)
+    return series, labels, segments

@@ -1,0 +1,90 @@
+"""Scaling and normalisation utilities for multivariate time series."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Per-channel standardisation to zero mean and unit variance.
+
+    Statistics are estimated on the training split only and reused for the
+    test split, matching the protocol of the paper's baselines.
+    """
+
+    def __init__(self, eps: float = 1e-8) -> None:
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array of shape (time, features)")
+        self.mean_ = data.mean(axis=0)
+        self.std_ = data.std(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean_) / (self.std_ + self.eps)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(data, dtype=np.float64) * (self.std_ + self.eps) + self.mean_
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler has not been fitted")
+
+
+class MinMaxScaler:
+    """Per-channel scaling into ``[0, 1]`` based on training-split extrema.
+
+    Test values outside the training range are clipped to a configurable
+    margin, which mirrors how the original ImDiffusion preprocessing guards
+    against extreme test outliers destroying the scale.
+    """
+
+    def __init__(self, clip_margin: float = 2.0, eps: float = 1e-8) -> None:
+        self.clip_margin = clip_margin
+        self.eps = eps
+        self.min_: Optional[np.ndarray] = None
+        self.max_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array of shape (time, features)")
+        self.min_ = data.min(axis=0)
+        self.max_ = data.max(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        data = np.asarray(data, dtype=np.float64)
+        span = self.max_ - self.min_ + self.eps
+        scaled = (data - self.min_) / span
+        if self.clip_margin is not None:
+            scaled = np.clip(scaled, -self.clip_margin, 1.0 + self.clip_margin)
+        return scaled
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        span = self.max_ - self.min_ + self.eps
+        return np.asarray(data, dtype=np.float64) * span + self.min_
+
+    def _check_fitted(self) -> None:
+        if self.min_ is None or self.max_ is None:
+            raise RuntimeError("scaler has not been fitted")

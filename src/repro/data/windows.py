@@ -1,0 +1,77 @@
+"""Sliding-window utilities used by every detector in the repository."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["sliding_windows", "window_starts", "overlap_average", "label_windows"]
+
+
+def window_starts(length: int, window_size: int, stride: int) -> np.ndarray:
+    """Start indices of sliding windows, always including a final full window.
+
+    The last window is anchored to ``length - window_size`` so every timestamp
+    is covered even when ``length`` is not a multiple of ``stride``.
+    """
+    if window_size > length:
+        raise ValueError(f"window_size {window_size} exceeds series length {length}")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    starts = list(range(0, length - window_size + 1, stride))
+    last = length - window_size
+    if starts[-1] != last:
+        starts.append(last)
+    return np.asarray(starts, dtype=np.int64)
+
+
+def sliding_windows(series: np.ndarray, window_size: int, stride: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cut ``series`` of shape ``(time, features)`` into overlapping windows.
+
+    Returns
+    -------
+    (windows, starts)
+        ``windows`` has shape ``(num_windows, window_size, features)`` and
+        ``starts`` the corresponding start indices.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2:
+        raise ValueError("expected a 2-D array of shape (time, features)")
+    starts = window_starts(series.shape[0], window_size, stride)
+    windows = np.stack([series[s:s + window_size] for s in starts], axis=0)
+    return windows, starts
+
+
+def label_windows(labels: np.ndarray, window_size: int, stride: int) -> np.ndarray:
+    """Window-level labels: a window is anomalous if any timestamp in it is."""
+    labels = np.asarray(labels)
+    starts = window_starts(labels.shape[0], window_size, stride)
+    return np.asarray([int(labels[s:s + window_size].any()) for s in starts], dtype=np.int64)
+
+
+def overlap_average(values: np.ndarray, starts: np.ndarray, length: int) -> np.ndarray:
+    """Merge per-window values back into a per-timestamp series by averaging overlaps.
+
+    Parameters
+    ----------
+    values:
+        Array of shape ``(num_windows, window_size)`` or
+        ``(num_windows, window_size, features)``.
+    starts:
+        Window start indices as returned by :func:`sliding_windows`.
+    length:
+        Length of the original series.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    window_size = values.shape[1]
+    feature_shape = values.shape[2:]
+    total = np.zeros((length,) + feature_shape, dtype=np.float64)
+    counts = np.zeros(length, dtype=np.float64)
+    for window_values, start in zip(values, starts):
+        total[start:start + window_size] += window_values
+        counts[start:start + window_size] += 1.0
+    counts = np.maximum(counts, 1.0)
+    if feature_shape:
+        return total / counts[:, None]
+    return total / counts

@@ -1,0 +1,22 @@
+"""Diffusion-model machinery: noise schedules, DDPM steps and imputation."""
+
+from .ddpm import GaussianDiffusion
+from .imputation import ImputationResult, ImputedDiffusion
+from .schedule import (
+    NoiseSchedule,
+    cosine_beta_schedule,
+    linear_beta_schedule,
+    make_schedule,
+    quadratic_beta_schedule,
+)
+
+__all__ = [
+    "GaussianDiffusion",
+    "ImputationResult",
+    "ImputedDiffusion",
+    "NoiseSchedule",
+    "cosine_beta_schedule",
+    "linear_beta_schedule",
+    "make_schedule",
+    "quadratic_beta_schedule",
+]

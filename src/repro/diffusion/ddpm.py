@@ -1,0 +1,93 @@
+"""Core DDPM machinery: forward corruption and reverse denoising steps.
+
+The :class:`GaussianDiffusion` class implements the equations of Sec. 3.3 of
+the paper on plain NumPy arrays (the denoiser network is the only learnable
+component, handled by the caller).  It is intentionally model-agnostic: the
+imputation-specific logic (masks, conditioning on forward noise) lives in
+:mod:`repro.diffusion.imputation`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .schedule import NoiseSchedule
+
+__all__ = ["GaussianDiffusion"]
+
+
+class GaussianDiffusion:
+    """Forward / reverse process utilities for a fixed :class:`NoiseSchedule`.
+
+    All step indices ``t`` are 1-based (``1 .. T``) to match the paper's
+    notation; index ``t`` therefore reads array position ``t - 1``.
+    """
+
+    def __init__(self, schedule: NoiseSchedule) -> None:
+        self.schedule = schedule
+
+    @property
+    def num_steps(self) -> int:
+        return self.schedule.num_steps
+
+    # ------------------------------------------------------------------
+    # Forward process
+    # ------------------------------------------------------------------
+    def q_sample(self, x0: np.ndarray, t: int, noise: Optional[np.ndarray] = None,
+                 rng: Optional[np.random.Generator] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample ``x_t ~ q(x_t | x_0)`` in closed form.
+
+        Returns ``(x_t, noise)`` where ``noise`` is the standard Gaussian used
+        for the corruption (the regression target of the denoiser).
+        """
+        self._check_step(t)
+        if noise is None:
+            rng = rng or np.random.default_rng()
+            noise = rng.standard_normal(x0.shape)
+        alpha_bar = self.schedule.alpha_bars[t - 1]
+        x_t = np.sqrt(alpha_bar) * x0 + np.sqrt(1.0 - alpha_bar) * noise
+        return x_t, noise
+
+    def sample_timesteps(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly sample training timesteps in ``1 .. T``."""
+        return rng.integers(1, self.num_steps + 1, size=batch_size)
+
+    # ------------------------------------------------------------------
+    # Reverse process
+    # ------------------------------------------------------------------
+    def predict_x0_from_eps(self, x_t: np.ndarray, t: int, eps: np.ndarray) -> np.ndarray:
+        """Recover the implied clean sample from a noise prediction."""
+        self._check_step(t)
+        alpha_bar = self.schedule.alpha_bars[t - 1]
+        return (x_t - np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha_bar)
+
+    def posterior_mean_from_eps(self, x_t: np.ndarray, t: int, eps: np.ndarray) -> np.ndarray:
+        """Mean of ``p(x_{t-1} | x_t)`` with the DDPM fixed-variance parameterisation (Eq. 5)."""
+        self._check_step(t)
+        alpha = self.schedule.alphas[t - 1]
+        alpha_bar = self.schedule.alpha_bars[t - 1]
+        beta = self.schedule.betas[t - 1]
+        return (x_t - beta / np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha)
+
+    def p_sample(self, x_t: np.ndarray, t: int, eps: np.ndarray,
+                 rng: Optional[np.random.Generator] = None,
+                 deterministic: bool = False) -> np.ndarray:
+        """One reverse step: sample ``x_{t-1}`` given ``x_t`` and the predicted noise."""
+        mean = self.posterior_mean_from_eps(x_t, t, eps)
+        if t == 1 or deterministic:
+            return mean
+        rng = rng or np.random.default_rng()
+        sigma = np.sqrt(self.schedule.posterior_variance(t))
+        return mean + sigma * rng.standard_normal(x_t.shape)
+
+    def prior_sample(self, shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Sample ``x_T`` from the standard-normal prior."""
+        rng = rng or np.random.default_rng()
+        return rng.standard_normal(shape)
+
+    # ------------------------------------------------------------------
+    def _check_step(self, t: int) -> None:
+        if not 1 <= t <= self.num_steps:
+            raise ValueError(f"step {t} outside the valid range 1..{self.num_steps}")

@@ -1,0 +1,89 @@
+"""Noise schedules for the denoising diffusion process (Sec. 3.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["NoiseSchedule", "linear_beta_schedule", "quadratic_beta_schedule",
+           "cosine_beta_schedule", "make_schedule"]
+
+
+@dataclass(frozen=True)
+class NoiseSchedule:
+    """Pre-computed quantities of a forward diffusion process.
+
+    Attributes
+    ----------
+    betas:
+        Per-step noise level ``beta_t`` for ``t = 1 .. T`` (stored 0-indexed).
+    alphas:
+        ``1 - beta_t``.
+    alpha_bars:
+        Cumulative products ``prod_{i<=t} alpha_i`` (the paper's
+        :math:`\\alpha_t`), used by the closed-form forward corruption.
+    """
+
+    betas: np.ndarray
+    alphas: np.ndarray
+    alpha_bars: np.ndarray
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.betas.shape[0])
+
+    def posterior_variance(self, t: int) -> float:
+        """Variance :math:`\\tilde\\beta_t` of the reverse transition at step ``t`` (1-indexed)."""
+        index = t - 1
+        if t > 1:
+            prev = self.alpha_bars[index - 1]
+            return float((1.0 - prev) / (1.0 - self.alpha_bars[index]) * self.betas[index])
+        return float(self.betas[0])
+
+    @classmethod
+    def from_betas(cls, betas: np.ndarray) -> "NoiseSchedule":
+        betas = np.asarray(betas, dtype=np.float64)
+        if betas.ndim != 1 or betas.size == 0:
+            raise ValueError("betas must be a non-empty 1-D array")
+        if np.any(betas <= 0) or np.any(betas >= 1):
+            raise ValueError("betas must lie strictly between 0 and 1")
+        alphas = 1.0 - betas
+        alpha_bars = np.cumprod(alphas)
+        return cls(betas=betas, alphas=alphas, alpha_bars=alpha_bars)
+
+
+def linear_beta_schedule(num_steps: int, beta_start: float = 1e-4, beta_end: float = 0.2) -> NoiseSchedule:
+    """Linearly increasing betas, the DDPM default used by the paper."""
+    return NoiseSchedule.from_betas(np.linspace(beta_start, beta_end, num_steps))
+
+
+def quadratic_beta_schedule(num_steps: int, beta_start: float = 1e-4, beta_end: float = 0.2) -> NoiseSchedule:
+    """Quadratic schedule (CSDI's choice): more small-noise steps near t=1."""
+    roots = np.linspace(np.sqrt(beta_start), np.sqrt(beta_end), num_steps)
+    return NoiseSchedule.from_betas(roots ** 2)
+
+
+def cosine_beta_schedule(num_steps: int, offset: float = 0.008) -> NoiseSchedule:
+    """Cosine schedule of Nichol & Dhariwal (2021)."""
+    steps = np.arange(num_steps + 1, dtype=np.float64)
+    f = np.cos((steps / num_steps + offset) / (1 + offset) * np.pi / 2) ** 2
+    alpha_bars = f / f[0]
+    betas = 1.0 - alpha_bars[1:] / alpha_bars[:-1]
+    betas = np.clip(betas, 1e-6, 0.999)
+    return NoiseSchedule.from_betas(betas)
+
+
+_SCHEDULES: Dict[str, Callable[..., NoiseSchedule]] = {
+    "linear": linear_beta_schedule,
+    "quadratic": quadratic_beta_schedule,
+    "cosine": cosine_beta_schedule,
+}
+
+
+def make_schedule(name: str, num_steps: int, **kwargs) -> NoiseSchedule:
+    """Create a schedule by name (``linear``, ``quadratic`` or ``cosine``)."""
+    if name not in _SCHEDULES:
+        raise KeyError(f"unknown schedule {name!r}; available: {sorted(_SCHEDULES)}")
+    return _SCHEDULES[name](num_steps, **kwargs)

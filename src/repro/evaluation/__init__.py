@@ -1,0 +1,31 @@
+"""Evaluation metrics and the multi-run experiment harness."""
+
+from .delay import average_detection_delay, detection_delays
+from .metrics import ClassificationScores, anomaly_segments, point_adjust, precision_recall_f1
+from .range_metrics import auc_pr, range_auc_pr, soft_range_labels
+from .runner import (
+    EvaluationSummary,
+    RunMetrics,
+    average_summaries,
+    evaluate_detector,
+    evaluate_labels,
+    format_results_table,
+)
+
+__all__ = [
+    "average_detection_delay",
+    "detection_delays",
+    "ClassificationScores",
+    "anomaly_segments",
+    "point_adjust",
+    "precision_recall_f1",
+    "auc_pr",
+    "range_auc_pr",
+    "soft_range_labels",
+    "EvaluationSummary",
+    "RunMetrics",
+    "average_summaries",
+    "evaluate_detector",
+    "evaluate_labels",
+    "format_results_table",
+]

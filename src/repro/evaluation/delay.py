@@ -1,0 +1,58 @@
+"""Detection timeliness: the Average Detection Delay (ADD) metric.
+
+ADD (Doshi et al., 2022; Eq. 13 of the paper) measures how quickly a detector
+reacts to each anomalous event: for every ground-truth event starting at
+``rho_i``, the delay is ``T_i - rho_i`` where ``T_i >= rho_i`` is the first
+timestamp the detector raises an alarm for that event.  Events that are never
+detected are charged the full horizon up to the next event (or the end of the
+series), which penalises misses without letting them dominate the average.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import anomaly_segments
+
+__all__ = ["detection_delays", "average_detection_delay"]
+
+
+def detection_delays(predicted: np.ndarray, actual: np.ndarray,
+                     max_horizon: Optional[int] = None) -> List[int]:
+    """Per-event detection delays.
+
+    For each true event ``[start, end)`` the search horizon extends from
+    ``start`` to the start of the next event (or the series end), optionally
+    capped at ``max_horizon``; the delay is the offset of the first predicted
+    positive inside the horizon, or the full horizon length if the event is
+    missed entirely.
+    """
+    predicted = np.asarray(predicted).astype(np.int64)
+    actual = np.asarray(actual).astype(np.int64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual labels must have the same shape")
+    events = anomaly_segments(actual)
+    length = actual.shape[0]
+    delays: List[int] = []
+    for index, (start, _end) in enumerate(events):
+        horizon_end = events[index + 1][0] if index + 1 < len(events) else length
+        if max_horizon is not None:
+            horizon_end = min(horizon_end, start + max_horizon)
+        window = predicted[start:horizon_end]
+        hits = np.nonzero(window)[0]
+        if hits.size:
+            delays.append(int(hits[0]))
+        else:
+            delays.append(int(horizon_end - start))
+    return delays
+
+
+def average_detection_delay(predicted: np.ndarray, actual: np.ndarray,
+                            max_horizon: Optional[int] = None) -> float:
+    """Mean of :func:`detection_delays`; 0.0 when there are no true events."""
+    delays = detection_delays(predicted, actual, max_horizon=max_horizon)
+    if not delays:
+        return 0.0
+    return float(np.mean(delays))

@@ -1,0 +1,80 @@
+"""Point-wise accuracy metrics with the point-adjustment protocol.
+
+Following the evaluation protocol used by the paper and its baselines
+(OmniAnomaly, TranAD, MTAD-GAT, ...), a predicted anomaly anywhere inside a
+true anomalous segment counts as detecting the entire segment ("point
+adjustment").  Precision, recall and F1 are then computed on the adjusted
+labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["ClassificationScores", "anomaly_segments", "point_adjust",
+           "precision_recall_f1"]
+
+
+@dataclass(frozen=True)
+class ClassificationScores:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def anomaly_segments(labels: np.ndarray) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` runs of 1s in a binary label array."""
+    labels = np.asarray(labels).astype(bool)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    segments: List[Tuple[int, int]] = []
+    start = None
+    for i, flag in enumerate(labels):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            segments.append((start, i))
+            start = None
+    if start is not None:
+        segments.append((start, len(labels)))
+    return segments
+
+
+def point_adjust(predicted: np.ndarray, actual: np.ndarray) -> np.ndarray:
+    """Apply the point-adjustment protocol.
+
+    For every ground-truth anomalous segment that contains at least one
+    predicted anomaly, all predictions inside the segment are set to 1.
+    Predictions outside true segments are left untouched.
+    """
+    predicted = np.asarray(predicted).astype(np.int64).copy()
+    actual = np.asarray(actual).astype(np.int64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual labels must have the same shape")
+    for start, end in anomaly_segments(actual):
+        if predicted[start:end].any():
+            predicted[start:end] = 1
+    return predicted
+
+
+def precision_recall_f1(predicted: np.ndarray, actual: np.ndarray,
+                        adjust: bool = True) -> ClassificationScores:
+    """Precision, recall and F1, optionally with point adjustment."""
+    predicted = np.asarray(predicted).astype(np.int64)
+    actual = np.asarray(actual).astype(np.int64)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual labels must have the same shape")
+    if adjust:
+        predicted = point_adjust(predicted, actual)
+    true_positive = int(np.sum((predicted == 1) & (actual == 1)))
+    false_positive = int(np.sum((predicted == 1) & (actual == 0)))
+    false_negative = int(np.sum((predicted == 0) & (actual == 1)))
+    precision = true_positive / (true_positive + false_positive) if true_positive + false_positive else 0.0
+    recall = true_positive / (true_positive + false_negative) if true_positive + false_negative else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return ClassificationScores(precision=precision, recall=recall, f1=f1)

@@ -1,0 +1,7 @@
+"""Masking strategies used to create the imputation targets."""
+
+from .base import MaskingStrategy, validate_masks
+from .grating import GratingMasking
+from .random_mask import RandomMasking
+
+__all__ = ["MaskingStrategy", "validate_masks", "GratingMasking", "RandomMasking"]

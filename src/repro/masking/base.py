@@ -1,0 +1,54 @@
+"""Masking strategy interface.
+
+ImDiffusion creates missing values on purpose (Sec. 4.2): a masking strategy
+produces one or more binary masks over a ``(window_length, num_features)``
+window, where ``1`` marks an *observed* value and ``0`` a value that must be
+imputed.  Strategies return a set of complementary masks whose masked regions
+jointly cover every position, so that after imputing each masked view and
+merging, every timestamp has a prediction-error signal.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["MaskingStrategy", "validate_masks"]
+
+
+class MaskingStrategy(ABC):
+    """Produces complementary observation masks for imputation."""
+
+    @abstractmethod
+    def masks(self, window_length: int, num_features: int,
+              rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
+        """Return a list of masks of shape ``(window_length, num_features)``.
+
+        Values are ``1.0`` where the data is observed and ``0.0`` where it is
+        masked (to be imputed).  The union of the masked regions over all
+        returned masks must cover every position.
+        """
+
+    @property
+    def num_policies(self) -> int:
+        """Number of masks produced per window (the ``p`` index in the paper)."""
+        return 2
+
+
+def validate_masks(masks: List[np.ndarray]) -> None:
+    """Check that the masked regions of ``masks`` jointly cover every position."""
+    if not masks:
+        raise ValueError("no masks provided")
+    shape = masks[0].shape
+    coverage = np.zeros(shape, dtype=bool)
+    for mask in masks:
+        if mask.shape != shape:
+            raise ValueError("all masks must share the same shape")
+        values = np.unique(mask)
+        if not set(values.tolist()).issubset({0.0, 1.0}):
+            raise ValueError("masks must be binary (0/1)")
+        coverage |= mask == 0
+    if not coverage.all():
+        raise ValueError("masked regions do not cover every position")

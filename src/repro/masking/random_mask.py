@@ -1,0 +1,35 @@
+"""Random masking strategy (the ablation baseline of Sec. 4.2 / 5.3.4).
+
+Each value of the window is masked independently with probability
+``mask_ratio`` (50 % in the paper, following CSDI).  To guarantee that every
+position is imputed at least once, the second policy is the exact complement
+of the first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import MaskingStrategy
+
+__all__ = ["RandomMasking"]
+
+
+class RandomMasking(MaskingStrategy):
+    """Independent Bernoulli masking with a complementary second policy."""
+
+    def __init__(self, mask_ratio: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 < mask_ratio < 1.0:
+            raise ValueError("mask_ratio must be strictly between 0 and 1")
+        self.mask_ratio = mask_ratio
+        self.seed = seed
+
+    def masks(self, window_length: int, num_features: int,
+              rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
+        rng = rng or np.random.default_rng(self.seed)
+        observed = (rng.random((window_length, num_features)) >= self.mask_ratio)
+        mask_p0 = observed.astype(np.float64)
+        mask_p1 = 1.0 - mask_p0
+        return [mask_p0, mask_p1]

@@ -1,0 +1,18 @@
+"""Denoiser networks for ImDiffusion."""
+
+from .embeddings import (
+    ComplementaryEmbedding,
+    DiffusionStepEmbedding,
+    MaskPolicyEmbedding,
+    sinusoidal_embedding,
+)
+from .imtransformer import ImTransformer, ResidualBlock
+
+__all__ = [
+    "ComplementaryEmbedding",
+    "DiffusionStepEmbedding",
+    "MaskPolicyEmbedding",
+    "sinusoidal_embedding",
+    "ImTransformer",
+    "ResidualBlock",
+]

@@ -1,0 +1,95 @@
+"""Embeddings used by the ImTransformer denoiser (Fig. 5 of the paper).
+
+Four kinds of auxiliary information are embedded and injected into the
+denoiser:
+
+* the diffusion step ``t`` (sinusoidal embedding followed by an MLP),
+* the masking policy index ``p`` (a learnable table with one row per policy),
+* the "complementary information": sinusoidal time-position embeddings along
+  the window axis and a learnable per-feature embedding along the channel
+  axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Module, Tensor
+
+__all__ = ["sinusoidal_embedding", "DiffusionStepEmbedding", "MaskPolicyEmbedding",
+           "ComplementaryEmbedding"]
+
+
+def sinusoidal_embedding(positions: np.ndarray, dim: int, max_period: float = 10000.0) -> np.ndarray:
+    """Classic transformer sinusoidal embedding of integer ``positions``.
+
+    Returns an array of shape ``positions.shape + (dim,)``; no gradients flow
+    through this function (it is a fixed encoding).
+    """
+    if dim % 2 != 0:
+        raise ValueError("embedding dimension must be even")
+    positions = np.asarray(positions, dtype=np.float64)
+    half = dim // 2
+    freqs = np.exp(-np.log(max_period) * np.arange(half) / half)
+    args = positions[..., None] * freqs
+    return np.concatenate([np.sin(args), np.cos(args)], axis=-1)
+
+
+class DiffusionStepEmbedding(Module):
+    """Sinusoidal embedding of the diffusion step ``t`` refined by a two-layer MLP."""
+
+    def __init__(self, hidden_dim: int, embedding_dim: int = 32,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.embedding_dim = embedding_dim
+        self.proj1 = Linear(embedding_dim, hidden_dim, rng=rng)
+        self.proj2 = Linear(hidden_dim, hidden_dim, rng=rng)
+
+    def forward(self, steps: np.ndarray) -> Tensor:
+        """Embed integer steps of shape ``(batch,)`` into ``(batch, hidden_dim)``."""
+        encoded = sinusoidal_embedding(np.asarray(steps), self.embedding_dim)
+        return self.proj2(self.proj1(Tensor(encoded)).silu()).silu()
+
+
+class MaskPolicyEmbedding(Module):
+    """Learnable embedding of the grating-mask policy index ``p`` (Sec. 4.2)."""
+
+    def __init__(self, num_policies: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.table = Embedding(num_policies, hidden_dim, rng=rng)
+
+    def forward(self, policies: np.ndarray) -> Tensor:
+        return self.table(np.asarray(policies, dtype=np.int64))
+
+
+class ComplementaryEmbedding(Module):
+    """Time- and feature-dimension side information (the paper's "complementary information").
+
+    Produces a tensor of shape ``(1, hidden_dim, num_features, window_length)``
+    that is broadcast-added inside every residual block: sinusoidal encodings
+    of the time index plus a learnable embedding of the feature index, each
+    projected to the hidden dimension.
+    """
+
+    def __init__(self, num_features: int, hidden_dim: int, time_embedding_dim: int = 32,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_features = num_features
+        self.hidden_dim = hidden_dim
+        self.time_embedding_dim = time_embedding_dim
+        self.time_proj = Linear(time_embedding_dim, hidden_dim, rng=rng)
+        self.feature_table = Embedding(num_features, hidden_dim, rng=rng)
+
+    def forward(self, window_length: int) -> Tensor:
+        time_encoded = sinusoidal_embedding(np.arange(window_length), self.time_embedding_dim)
+        time_emb = self.time_proj(Tensor(time_encoded))          # (L, hidden)
+        feature_emb = self.feature_table(np.arange(self.num_features))  # (K, hidden)
+        # Broadcast-add to (1, hidden, K, L).
+        time_part = time_emb.transpose(1, 0).reshape(1, self.hidden_dim, 1, window_length)
+        feature_part = feature_emb.transpose(1, 0).reshape(1, self.hidden_dim, self.num_features, 1)
+        return time_part + feature_part

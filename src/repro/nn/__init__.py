@@ -1,0 +1,72 @@
+"""A compact NumPy-based neural-network substrate.
+
+The original ImDiffusion implementation relies on PyTorch; this package
+re-creates the minimal pieces of that stack needed by the paper — a
+reverse-mode autograd engine, dense / convolutional / recurrent / attention
+layers and the Adam optimizer — entirely on top of NumPy so the repository has
+no binary deep-learning dependency.
+"""
+
+from .tensor import Tensor, as_tensor, concat, stack, where
+from . import functional
+from .layers import (
+    Conv1d,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SiLU,
+    Tanh,
+)
+from .attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
+from .recurrent import GRU, GRUCell, LSTM, LSTMCell
+from .optim import Adam, Optimizer, SGD, StepLR, clip_grad_norm
+from .serialization import load_module, load_state_dict, save_module, save_state_dict
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "functional",
+    "Parameter",
+    "Module",
+    "ModuleList",
+    "Linear",
+    "Conv1d",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "SiLU",
+    "Tanh",
+    "Sigmoid",
+    "Sequential",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "LSTMCell",
+    "LSTM",
+    "GRUCell",
+    "GRU",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,101 @@
+"""Multi-head self-attention and transformer encoder layers.
+
+These blocks power the ImTransformer denoiser (temporal and spatial
+transformer layers, Sec. 4.4 of the paper) as well as the transformer-based
+baselines (TranAD, MTAD-GAT's attention variant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Dropout, LayerNorm, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention", "TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Operates on inputs of shape ``(batch, sequence, model_dim)`` and returns
+    the same shape.  An optional additive attention mask (``-inf`` style, as a
+    NumPy array broadcastable to ``(batch, heads, seq, seq)``) can be supplied
+    to hide positions.
+    """
+
+    def __init__(self, model_dim: int, num_heads: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError("model_dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng()
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.q_proj = Linear(model_dim, model_dim, rng=rng)
+        self.k_proj = Linear(model_dim, model_dim, rng=rng)
+        self.v_proj = Linear(model_dim, model_dim, rng=rng)
+        self.out_proj = Linear(model_dim, model_dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (batch, seq, dim) -> (batch, heads, seq, head_dim)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale
+        if attn_mask is not None:
+            scores = scores + Tensor(np.asarray(attn_mask, dtype=np.float64))
+        weights = scores.softmax(axis=-1)
+        context = weights.matmul(v)  # (batch, heads, seq, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.model_dim)
+        return self.out_proj(merged)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block: attention + feed-forward with residuals."""
+
+    def __init__(self, model_dim: int, num_heads: int, ff_dim: Optional[int] = None,
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        ff_dim = ff_dim or 2 * model_dim
+        self.attention = MultiHeadSelfAttention(model_dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(model_dim)
+        self.norm2 = LayerNorm(model_dim)
+        self.ff1 = Linear(model_dim, ff_dim, rng=rng)
+        self.ff2 = Linear(ff_dim, model_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(self.norm1(x), attn_mask=attn_mask)
+        x = x + self.dropout(attended)
+        hidden = self.ff2(self.ff1(self.norm2(x)).gelu())
+        return x + self.dropout(hidden)
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer` blocks."""
+
+    def __init__(self, model_dim: int, num_heads: int, num_layers: int,
+                 ff_dim: Optional[int] = None, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.layers = [
+            TransformerEncoderLayer(model_dim, num_heads, ff_dim=ff_dim, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attn_mask=attn_mask)
+        return x

@@ -1,0 +1,166 @@
+"""Functional neural-network operations built on :class:`repro.nn.Tensor`.
+
+These are stateless helpers used both by the layer classes in
+:mod:`repro.nn.layers` and directly by models that prefer a functional style
+(losses, normalisation, masked reductions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concat, stack, where
+
+__all__ = [
+    "linear",
+    "layer_norm",
+    "dropout",
+    "embedding",
+    "conv1d",
+    "mse_loss",
+    "mae_loss",
+    "masked_mse_loss",
+    "binary_cross_entropy",
+    "kl_divergence_normal",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` for inputs of shape ``(..., in_features)``."""
+    out = x.matmul(weight)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / ((variance + eps) ** 0.5)
+    return normed * weight + bias
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: identity unless ``training`` and ``rate > 0``."""
+    if not training or rate <= 0.0:
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def embedding(indices: np.ndarray, weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` for integer ``indices`` (autograd flows to weight)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    padding: int = 0,
+) -> Tensor:
+    """1-D convolution over inputs of shape ``(batch, in_channels, length)``.
+
+    ``weight`` has shape ``(out_channels, in_channels, kernel_size)``.  The
+    implementation unfolds the input into sliding windows and reduces the
+    convolution to a batched matrix multiplication, which keeps everything
+    inside the autograd graph.
+    """
+    batch, in_channels, length = x.shape
+    out_channels, w_in_channels, kernel_size = weight.shape
+    if in_channels != w_in_channels:
+        raise ValueError(
+            f"input has {in_channels} channels but weight expects {w_in_channels}"
+        )
+    if padding > 0:
+        x = x.pad(((0, 0), (0, 0), (padding, padding)))
+        length = length + 2 * padding
+    out_length = length - kernel_size + 1
+    if out_length <= 0:
+        raise ValueError("kernel does not fit into the (padded) input")
+
+    if kernel_size == 1:
+        # Fast path: a 1x1 convolution is a linear map over channels.
+        w2 = weight.reshape(out_channels, in_channels)
+        out = w2.expand_dims(0).matmul(x)
+    else:
+        windows = [x[:, :, i : i + kernel_size] for i in range(out_length)]
+        # (batch, out_length, in_channels * kernel_size)
+        unfolded = stack(
+            [w.reshape(batch, in_channels * kernel_size) for w in windows], axis=1
+        )
+        w2 = weight.reshape(out_channels, in_channels * kernel_size).transpose(1, 0)
+        out = unfolded.matmul(w2)  # (batch, out_length, out_channels)
+        out = out.transpose(0, 2, 1)
+    if bias is not None:
+        out = out + bias.reshape(1, out_channels, 1)
+    return out
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error over all elements."""
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def masked_mse_loss(prediction: Tensor, target: Tensor, mask: np.ndarray) -> Tensor:
+    """MSE restricted to positions where ``mask`` is non-zero.
+
+    This is the ImDiffusion training objective: the denoising error is only
+    evaluated on the masked (to-be-imputed) region of the window.
+    """
+    target = as_tensor(target)
+    mask = np.asarray(mask, dtype=np.float64)
+    count = float(mask.sum())
+    if count == 0:
+        raise ValueError("mask selects no elements")
+    diff = (prediction - target) * Tensor(mask)
+    return (diff * diff).sum() * (1.0 / count)
+
+
+def binary_cross_entropy(prediction: Tensor, target: Tensor, eps: float = 1e-7) -> Tensor:
+    """Binary cross entropy on probabilities in ``(0, 1)``."""
+    target = as_tensor(target)
+    p = prediction.clip(eps, 1.0 - eps)
+    loss = -(target * p.log() + (1.0 - target) * (1.0 - p).log())
+    return loss.mean()
+
+
+def kl_divergence_normal(mu: Tensor, log_var: Tensor) -> Tensor:
+    """KL(q || N(0, I)) for a diagonal Gaussian, averaged over the batch."""
+    term = (mu * mu) + log_var.exp() - log_var - 1.0
+    return term.sum(axis=-1).mean() * 0.5
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis).log()
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Plain NumPy one-hot encoding helper (no gradient needed)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out

@@ -1,0 +1,57 @@
+"""Parameter initialisation schemes for the :mod:`repro.nn` layers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "ones", "uniform"]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of ``shape``.
+
+    For 2-D weights the convention is ``(in_features, out_features)``; for
+    convolutional weights ``(out_channels, in_channels, kernel_size)`` the
+    receptive field multiplies into both fans.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 3:
+        receptive = shape[2]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU-style non-linearities."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian initialisation with standard deviation ``std``."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

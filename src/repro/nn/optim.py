@@ -1,0 +1,116 @@
+"""Gradient-descent optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and implements ``zero_grad``."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel = self._velocity.get(id(p))
+                vel = self.momentum * vel + grad if vel is not None else grad
+                self._velocity[id(p)] = vel
+                grad = vel
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._step_count = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p), np.zeros_like(p.data))
+            v = self._v.get(id(p), np.zeros_like(p.data))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / (1.0 - self.beta1 ** t)
+            v_hat = v / (1.0 - self.beta2 ** t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total
+
+
+class StepLR:
+    """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

@@ -1,0 +1,133 @@
+"""Recurrent layers (LSTM / GRU) used by the baseline detectors.
+
+LSTM-AD, OmniAnomaly (GRU + VAE), MAD-GAN and MSCRED all rely on recurrent
+sequence encoders.  The cells here process inputs of shape
+``(batch, time, features)`` step by step inside the autograd graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .layers import Linear, Module
+from .tensor import Tensor, concat, stack
+
+__all__ = ["LSTMCell", "LSTM", "GRUCell", "GRU"]
+
+
+class LSTMCell(Module):
+    """A single long short-term memory cell."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # One fused projection for the four gates keeps the graph small.
+        self.input_proj = Linear(input_size, 4 * hidden_size, rng=rng)
+        self.hidden_proj = Linear(hidden_size, 4 * hidden_size, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        gates = self.input_proj(x) + self.hidden_proj(h_prev)
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs:1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs:2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs:3 * hs].tanh()
+        o_gate = gates[:, 3 * hs:4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """A (optionally multi-layer) LSTM over ``(batch, time, features)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.cells = [
+            LSTMCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Return ``(outputs, last_hidden)``.
+
+        ``outputs`` has shape ``(batch, time, hidden)`` and contains the top
+        layer's hidden state at every step; ``last_hidden`` is the final
+        hidden state of the top layer.
+        """
+        batch, time, _ = x.shape
+        layer_input_steps: List[Tensor] = [x[:, t, :] for t in range(time)]
+        for cell in self.cells:
+            h, c = cell.initial_state(batch)
+            outputs: List[Tensor] = []
+            for step in layer_input_steps:
+                h, c = cell(step, (h, c))
+                outputs.append(h)
+            layer_input_steps = outputs
+        stacked = stack(layer_input_steps, axis=1)
+        return stacked, layer_input_steps[-1]
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit cell."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_proj = Linear(input_size, 3 * hidden_size, rng=rng)
+        self.hidden_proj = Linear(hidden_size, 3 * hidden_size, bias=False, rng=rng)
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        hs = self.hidden_size
+        x_proj = self.input_proj(x)
+        h_proj = self.hidden_proj(h_prev)
+        r_gate = (x_proj[:, 0 * hs:1 * hs] + h_proj[:, 0 * hs:1 * hs]).sigmoid()
+        z_gate = (x_proj[:, 1 * hs:2 * hs] + h_proj[:, 1 * hs:2 * hs]).sigmoid()
+        n_gate = (x_proj[:, 2 * hs:3 * hs] + r_gate * h_proj[:, 2 * hs:3 * hs]).tanh()
+        return (1.0 - z_gate) * n_gate + z_gate * h_prev
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRU(Module):
+    """A (optionally multi-layer) GRU over ``(batch, time, features)`` inputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.hidden_size = hidden_size
+        self.cells = [
+            GRUCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        batch, time, _ = x.shape
+        layer_input_steps: List[Tensor] = [x[:, t, :] for t in range(time)]
+        for cell in self.cells:
+            h = cell.initial_state(batch)
+            outputs: List[Tensor] = []
+            for step in layer_input_steps:
+                h = cell(step, h)
+                outputs.append(h)
+            layer_input_steps = outputs
+        stacked = stack(layer_input_steps, axis=1)
+        return stacked, layer_input_steps[-1]

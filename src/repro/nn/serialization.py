@@ -1,0 +1,40 @@
+"""Saving and loading module parameters to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state_dict", "load_state_dict"]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Persist a ``state_dict`` mapping to a compressed ``.npz`` file.
+
+    Parameter names may contain dots, which ``np.savez`` handles fine because
+    keys are plain strings inside the archive.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a ``state_dict`` previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Save all parameters of ``module`` to ``path`` (``.npz``)."""
+    save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load parameters into ``module`` from ``path`` and return the module."""
+    module.load_state_dict(load_state_dict(path))
+    return module

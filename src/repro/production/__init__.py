@@ -1,0 +1,11 @@
+"""Production deployment harness: online evaluation and the legacy detector."""
+
+from .legacy import LegacyThresholdDetector
+from .online import OnlineEvaluation, compare_with_legacy, run_online_evaluation
+
+__all__ = [
+    "LegacyThresholdDetector",
+    "OnlineEvaluation",
+    "compare_with_legacy",
+    "run_online_evaluation",
+]

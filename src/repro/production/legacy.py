@@ -1,0 +1,60 @@
+"""The "legacy" production detector that ImDiffusion replaced (Sec. 6).
+
+The paper compares ImDiffusion against a deep-learning detector that had been
+running in the email-delivery system for years and reports only *relative*
+improvements.  We model the legacy detector as a sensible but simpler
+production monitor: an exponentially-weighted moving average per service with
+a k-sigma deviation rule, which is representative of the threshold-style
+monitors such systems start from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.base import BaseDetector
+
+__all__ = ["LegacyThresholdDetector"]
+
+
+class LegacyThresholdDetector(BaseDetector):
+    """EWMA + k-sigma latency monitor (one alarm when any service deviates)."""
+
+    name = "Legacy"
+
+    def __init__(self, smoothing: float = 0.1, sigma_threshold: float = 4.0,
+                 threshold_percentile: float = 97.0, seed: int = 0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.smoothing = smoothing
+        self.sigma_threshold = sigma_threshold
+        self._residual_std: Optional[np.ndarray] = None
+
+    def _ewma_residuals(self, series: np.ndarray) -> np.ndarray:
+        """Per-channel residuals against an exponentially weighted moving average."""
+        mean = series[0].copy()
+        residuals = np.zeros_like(series)
+        for t in range(series.shape[0]):
+            residuals[t] = series[t] - mean
+            mean = (1.0 - self.smoothing) * mean + self.smoothing * series[t]
+        return residuals
+
+    def _fit(self, train: np.ndarray) -> None:
+        residuals = self._ewma_residuals(train)
+        self._residual_std = residuals.std(axis=0) + 1e-9
+
+    def _score(self, test: np.ndarray) -> np.ndarray:
+        residuals = self._ewma_residuals(test)
+        deviations = np.abs(residuals) / self._residual_std
+        return deviations.max(axis=1)
+
+    def predict(self, test: np.ndarray):
+        """Use the fixed k-sigma rule instead of a percentile of the test scores."""
+        scores = self.score(test)
+        labels = (scores >= self.sigma_threshold).astype(np.int64)
+        from ..baselines.base import BaselineResult
+
+        return BaselineResult(labels=labels, scores=scores)

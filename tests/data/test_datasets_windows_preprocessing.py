@@ -1,0 +1,217 @@
+"""Tests for dataset analogues, windowing, scalers and the production simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DATASET_PROFILES,
+    MicroserviceLatencySimulator,
+    MinMaxScaler,
+    ProductionConfig,
+    StandardScaler,
+    label_windows,
+    list_datasets,
+    load_dataset,
+    overlap_average,
+    sliding_windows,
+    window_starts,
+)
+
+
+class TestDatasets:
+    def test_all_six_datasets_listed(self):
+        assert sorted(list_datasets()) == ["GCP", "MSL", "PSM", "SMAP", "SMD", "SWaT"]
+
+    @pytest.mark.parametrize("name", ["SMD", "PSM", "SWaT", "SMAP", "MSL", "GCP"])
+    def test_dataset_shapes_and_labels(self, name):
+        dataset = load_dataset(name, seed=0, scale=0.15)
+        assert dataset.train.shape[1] == DATASET_PROFILES[name].num_features
+        assert dataset.test.shape[0] == dataset.test_labels.shape[0]
+        assert set(np.unique(dataset.test_labels)).issubset({0, 1})
+        assert dataset.test_labels.sum() > 0
+        assert np.isfinite(dataset.train).all() and np.isfinite(dataset.test).all()
+
+    def test_reproducible_across_calls(self):
+        a = load_dataset("SMD", seed=3, scale=0.1)
+        b = load_dataset("SMD", seed=3, scale=0.1)
+        np.testing.assert_allclose(a.train, b.train)
+        np.testing.assert_allclose(a.test, b.test)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_seeds_produce_different_instances(self):
+        a = load_dataset("GCP", seed=0, scale=0.1)
+        b = load_dataset("GCP", seed=1, scale=0.1)
+        assert not np.allclose(a.test, b.test)
+
+    def test_case_insensitive_and_alias(self):
+        assert load_dataset("swat", seed=0, scale=0.1).name == "SWaT"
+        assert load_dataset("smd", seed=0, scale=0.1).name == "SMD"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("SMD", scale=0.0)
+
+    def test_anomaly_ratio_tracks_profile(self):
+        dataset = load_dataset("PSM", seed=0, scale=0.3)
+        profile = DATASET_PROFILES["PSM"]
+        assert dataset.anomaly_ratio >= 0.5 * profile.anomaly_fraction
+
+    def test_segments_cover_labels(self):
+        dataset = load_dataset("MSL", seed=0, scale=0.2)
+        rebuilt = np.zeros_like(dataset.test_labels)
+        for seg in dataset.segments:
+            rebuilt[seg.start:seg.end] = 1
+        np.testing.assert_array_equal(rebuilt, dataset.test_labels)
+
+
+class TestWindows:
+    def test_window_starts_cover_series(self):
+        starts = window_starts(105, window_size=20, stride=10)
+        assert starts[0] == 0
+        assert starts[-1] == 85
+
+    def test_sliding_windows_shape(self):
+        series = np.random.default_rng(0).normal(size=(100, 4))
+        windows, starts = sliding_windows(series, window_size=25, stride=25)
+        assert windows.shape == (4, 25, 4)
+        assert len(starts) == 4
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(ValueError):
+            window_starts(10, window_size=20, stride=5)
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(ValueError):
+            window_starts(10, window_size=5, stride=0)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.zeros(10), 5, 2)
+
+    def test_label_windows(self):
+        labels = np.zeros(50, dtype=int)
+        labels[30:35] = 1
+        out = label_windows(labels, window_size=10, stride=10)
+        np.testing.assert_array_equal(out, [0, 0, 0, 1, 0])
+
+    def test_overlap_average_reconstructs_identity(self):
+        series = np.random.default_rng(1).normal(size=(60, 3))
+        windows, starts = sliding_windows(series, window_size=20, stride=10)
+        merged = overlap_average(windows, starts, 60)
+        np.testing.assert_allclose(merged, series, atol=1e-12)
+
+    def test_overlap_average_1d_values(self):
+        values = np.ones((3, 10))
+        starts = np.array([0, 5, 10])
+        merged = overlap_average(values, starts, 20)
+        np.testing.assert_allclose(merged, np.ones(20))
+
+    @settings(max_examples=25, deadline=None)
+    @given(length=st.integers(min_value=30, max_value=300),
+           window=st.integers(min_value=5, max_value=30),
+           stride=st.integers(min_value=1, max_value=30))
+    def test_property_every_timestamp_covered(self, length, window, stride):
+        # Full coverage is only guaranteed when windows overlap or tile,
+        # i.e. stride <= window, which is how every detector uses them.
+        if window > length:
+            window = length
+        stride = min(stride, window)
+        starts = window_starts(length, window, stride)
+        covered = np.zeros(length, dtype=bool)
+        for s in starts:
+            covered[s:s + window] = True
+        assert covered.all()
+
+
+class TestScalers:
+    def test_standard_scaler_stats(self):
+        data = np.random.default_rng(0).normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-6)
+
+    def test_standard_scaler_round_trip(self):
+        data = np.random.default_rng(1).normal(size=(200, 3))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-9)
+
+    def test_standard_scaler_constant_channel(self):
+        data = np.ones((100, 2))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_minmax_scaler_range(self):
+        data = np.random.default_rng(2).uniform(-5, 9, size=(300, 5))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0 - 1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_minmax_scaler_clips_extreme_test_values(self):
+        train = np.random.default_rng(3).uniform(0, 1, size=(100, 1))
+        scaler = MinMaxScaler(clip_margin=2.0).fit(train)
+        out = scaler.transform(np.array([[1e6], [-1e6]]))
+        assert out.max() <= 3.0
+        assert out.min() >= -2.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((3, 2)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((3, 2)))
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_property_minmax_round_trip(self, seed):
+        data = np.random.default_rng(seed).normal(size=(50, 3)) * 7 + 2
+        scaler = MinMaxScaler(clip_margin=None).fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data, atol=1e-8)
+
+
+class TestProductionSimulator:
+    def test_trace_shapes(self):
+        sim = MicroserviceLatencySimulator(ProductionConfig(num_services=6, seed=1))
+        trace = sim.generate()
+        assert trace.train.shape[1] == 6
+        assert trace.test.shape[0] == trace.test_labels.shape[0]
+        assert trace.num_services == 6
+
+    def test_latency_positive(self):
+        trace = MicroserviceLatencySimulator(ProductionConfig(seed=2)).generate()
+        assert (trace.train > 0).all()
+        assert (trace.test > 0).all()
+
+    def test_incidents_present_and_bounded(self):
+        trace = MicroserviceLatencySimulator(ProductionConfig(seed=3)).generate()
+        assert trace.test_labels.sum() > 0
+        assert trace.test_labels.mean() < 0.3
+
+    def test_incident_raises_latency(self):
+        trace = MicroserviceLatencySimulator(ProductionConfig(seed=4)).generate()
+        anomalous = trace.test[trace.test_labels == 1].mean()
+        normal = trace.test[trace.test_labels == 0].mean()
+        assert anomalous > normal
+
+    def test_stream_yields_every_timestamp(self):
+        sim = MicroserviceLatencySimulator(ProductionConfig(num_services=4, seed=5))
+        trace = sim.generate()
+        events = list(sim.stream(trace))
+        assert len(events) == trace.test.shape[0]
+        index, values, label = events[0]
+        assert index == 0
+        assert values.shape == (4,)
+        assert label in (0, 1)
+
+    def test_deterministic_for_seed(self):
+        a = MicroserviceLatencySimulator(ProductionConfig(seed=9)).generate()
+        b = MicroserviceLatencySimulator(ProductionConfig(seed=9)).generate()
+        np.testing.assert_allclose(a.test, b.test)

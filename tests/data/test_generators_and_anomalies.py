@@ -1,0 +1,169 @@
+"""Tests for the synthetic MTS generator and anomaly injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import MTSConfig, generate_mts, inject_anomalies
+from repro.data.anomalies import (
+    ANOMALY_TYPES,
+    inject_correlation_break,
+    inject_flatline,
+    inject_level_shift,
+    inject_spike,
+)
+
+
+class TestGenerator:
+    def test_output_shape(self):
+        config = MTSConfig(length=300, num_features=7)
+        out = generate_mts(config, np.random.default_rng(0))
+        assert out.shape == (300, 7)
+
+    def test_deterministic_given_seed(self):
+        config = MTSConfig(length=200, num_features=5)
+        a = generate_mts(config, np.random.default_rng(42))
+        b = generate_mts(config, np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        config = MTSConfig(length=200, num_features=5)
+        a = generate_mts(config, np.random.default_rng(1))
+        b = generate_mts(config, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_values_finite(self):
+        config = MTSConfig(length=500, num_features=20, discrete_fraction=0.3)
+        out = generate_mts(config, np.random.default_rng(3))
+        assert np.isfinite(out).all()
+
+    def test_channels_are_correlated_within_groups(self):
+        # With a single group and one factor all channels should share structure.
+        config = MTSConfig(length=1000, num_features=6, num_factors=1, num_groups=1,
+                           noise_scale=0.02, trend_scale=0.0)
+        out = generate_mts(config, np.random.default_rng(5))
+        corr = np.corrcoef(out.T)
+        off_diag = corr[np.triu_indices(6, k=1)]
+        assert np.abs(off_diag).mean() > 0.5
+
+    def test_discrete_fraction_produces_binaryish_channels(self):
+        config = MTSConfig(length=400, num_features=10, discrete_fraction=0.5)
+        out = generate_mts(config, np.random.default_rng(7))
+        near_binary = 0
+        for k in range(10):
+            channel = out[:, k]
+            span = channel.max() - channel.min()
+            if span < 1.2 and len(np.unique(np.round(channel, 0))) <= 3:
+                near_binary += 1
+        assert near_binary >= 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(length=st.integers(min_value=50, max_value=400),
+           features=st.integers(min_value=1, max_value=30))
+    def test_property_shape_and_finiteness(self, length, features):
+        config = MTSConfig(length=length, num_features=features)
+        out = generate_mts(config, np.random.default_rng(length * 31 + features))
+        assert out.shape == (length, features)
+        assert np.isfinite(out).all()
+
+
+class TestAnomalyInjection:
+    def _series(self, length=600, features=8, seed=0):
+        config = MTSConfig(length=length, num_features=features)
+        return generate_mts(config, np.random.default_rng(seed))
+
+    def test_labels_fraction_near_target(self):
+        series = self._series()
+        _, labels, _ = inject_anomalies(
+            series, np.random.default_rng(0),
+            anomaly_types=("spike", "level_shift"), anomaly_fraction=0.08,
+        )
+        assert 0.04 <= labels.mean() <= 0.15
+
+    def test_original_series_not_mutated(self):
+        series = self._series()
+        before = series.copy()
+        inject_anomalies(series, np.random.default_rng(0), anomaly_types=("spike",))
+        np.testing.assert_allclose(series, before)
+
+    def test_segments_match_labels(self):
+        series = self._series()
+        _, labels, segments = inject_anomalies(
+            series, np.random.default_rng(1), anomaly_types=("level_shift",),
+            anomaly_fraction=0.1,
+        )
+        rebuilt = np.zeros_like(labels)
+        for seg in segments:
+            rebuilt[seg.start:seg.end] = 1
+        np.testing.assert_array_equal(rebuilt, labels)
+
+    def test_segments_do_not_overlap(self):
+        series = self._series(length=1000)
+        _, _, segments = inject_anomalies(
+            series, np.random.default_rng(2), anomaly_types=("drift", "spike"),
+            anomaly_fraction=0.15,
+        )
+        ordered = sorted(segments, key=lambda s: s.start)
+        for first, second in zip(ordered, ordered[1:]):
+            assert first.end <= second.start
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            inject_anomalies(self._series(), np.random.default_rng(0),
+                             anomaly_types=("not_a_type",))
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            inject_anomalies(self._series(), np.random.default_rng(0),
+                             anomaly_types=("spike",), anomaly_fraction=0.9)
+
+    def test_spike_changes_only_segment(self):
+        series = self._series()
+        modified = series.copy()
+        inject_spike(modified, 100, 102, np.array([0, 1]), np.random.default_rng(0))
+        np.testing.assert_allclose(modified[:100], series[:100])
+        np.testing.assert_allclose(modified[102:], series[102:])
+        assert np.abs(modified[100:102, :2] - series[100:102, :2]).max() > 1.0
+
+    def test_level_shift_moves_mean(self):
+        series = self._series()
+        modified = series.copy()
+        inject_level_shift(modified, 50, 150, np.array([3]), np.random.default_rng(0))
+        delta = np.abs(modified[50:150, 3].mean() - series[50:150, 3].mean())
+        assert delta > 1.0
+
+    def test_flatline_freezes_values(self):
+        series = self._series()
+        modified = series.copy()
+        inject_flatline(modified, 10, 60, np.array([2, 4]), np.random.default_rng(0))
+        assert np.allclose(modified[10:60, 2], modified[10, 2])
+        assert np.allclose(modified[10:60, 4], modified[10, 4])
+
+    def test_correlation_break_preserves_marginals(self):
+        series = self._series(length=800)
+        modified = series.copy()
+        inject_correlation_break(modified, 100, 300, np.array([0, 1, 2]),
+                                 np.random.default_rng(0))
+        # The same values appear in the segment, just reordered in time.
+        np.testing.assert_allclose(
+            np.sort(modified[100:300, 0]), np.sort(series[100:300, 0])
+        )
+
+    def test_registry_contains_all_injectors(self):
+        assert set(ANOMALY_TYPES) == {
+            "spike", "level_shift", "drift", "amplitude", "flatline",
+            "noise_burst", "correlation_break",
+        }
+
+    @settings(max_examples=15, deadline=None)
+    @given(fraction=st.floats(min_value=0.02, max_value=0.3),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_property_labels_binary_and_bounded(self, fraction, seed):
+        series = self._series(length=500, seed=seed)
+        _, labels, _ = inject_anomalies(
+            series, np.random.default_rng(seed), anomaly_types=("spike", "level_shift"),
+            anomaly_fraction=fraction,
+        )
+        assert set(np.unique(labels)).issubset({0, 1})
+        assert labels.shape == (500,)

@@ -1,0 +1,311 @@
+"""Tests for layers, attention, recurrent cells, optimizers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Conv1d,
+    Dropout,
+    Embedding,
+    GRU,
+    LayerNorm,
+    Linear,
+    LSTM,
+    MLP,
+    MultiHeadSelfAttention,
+    SGD,
+    Sequential,
+    StepLR,
+    Tensor,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    clip_grad_norm,
+    functional as F,
+    load_state_dict,
+    save_state_dict,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self):
+        layer = Linear(5, 3, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_linear_batched_input(self):
+        layer = Linear(5, 3, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(2, 7, 5))))
+        assert out.shape == (2, 7, 3)
+
+    def test_mlp_learns_linear_map(self):
+        rng = np.random.default_rng(3)
+        model = MLP([2, 16, 1], rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        x = rng.normal(size=(64, 2))
+        y = (2 * x[:, :1] - 3 * x[:, 1:]) + 0.5
+        first_loss = None
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = F.mse_loss(model(Tensor(x)), Tensor(y))
+            if first_loss is None:
+                first_loss = float(loss.data)
+            loss.backward()
+            optimizer.step()
+        assert float(loss.data) < 0.05 * first_loss
+
+    def test_mlp_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_num_parameters(self):
+        layer = Linear(5, 3, rng=RNG)
+        assert layer.num_parameters() == 5 * 3 + 3
+
+
+class TestConvAndNorm:
+    def test_conv1d_kernel1_shape(self):
+        conv = Conv1d(4, 8, kernel_size=1, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(2, 4, 10))))
+        assert out.shape == (2, 8, 10)
+
+    def test_conv1d_kernel3_same_padding(self):
+        conv = Conv1d(3, 5, kernel_size=3, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(2, 3, 12))))
+        assert out.shape == (2, 5, 12)
+
+    def test_conv1d_matches_manual(self):
+        conv = Conv1d(1, 1, kernel_size=3, padding=0, bias=False, rng=RNG)
+        conv.weight.data = np.array([[[1.0, 0.0, -1.0]]])
+        x = np.arange(6.0).reshape(1, 1, 6)
+        out = conv(Tensor(x)).data
+        expected = np.array([[[x[0, 0, i] - x[0, 0, i + 2] for i in range(4)]]])
+        np.testing.assert_allclose(out, expected)
+
+    def test_conv1d_channel_mismatch_raises(self):
+        conv = Conv1d(3, 5, kernel_size=3, rng=RNG)
+        with pytest.raises(ValueError):
+            conv(Tensor(RNG.normal(size=(2, 4, 12))))
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        norm = LayerNorm(6)
+        out = norm(Tensor(RNG.normal(size=(3, 6)) * 5 + 2)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, rng=RNG)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_embedding_gradient_accumulates_for_repeated_index(self):
+        emb = Embedding(5, 2, rng=RNG)
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [2.0, 2.0])
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(RNG.normal(size=(4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).data
+        # Kept entries are scaled by 1/keep = 2; mean stays near 1.
+        assert set(np.round(np.unique(out), 6)).issubset({0.0, 2.0})
+        assert abs(out.mean() - 1.0) < 0.15
+
+
+class TestAttention:
+    def test_self_attention_shape(self):
+        attn = MultiHeadSelfAttention(8, 2, rng=RNG)
+        out = attn(Tensor(RNG.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_attention_mask_blocks_positions(self):
+        attn = MultiHeadSelfAttention(4, 1, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(1, 4, 4))
+        mask = np.zeros((1, 1, 4, 4))
+        mask[..., 3] = -1e9  # nobody can attend to position 3
+        out_masked = attn(Tensor(x), attn_mask=mask).data
+        x_perturbed = x.copy()
+        x_perturbed[0, 3] += 10.0
+        out_perturbed = attn(Tensor(x_perturbed), attn_mask=mask).data
+        # Positions other than 3 are unaffected by changing position 3's value.
+        np.testing.assert_allclose(out_masked[0, :3], out_perturbed[0, :3], atol=1e-6)
+
+    def test_model_dim_head_mismatch(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2)
+
+    def test_encoder_layer_grad_flows(self):
+        layer = TransformerEncoderLayer(8, 2, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 6, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_encoder_stack(self):
+        encoder = TransformerEncoder(8, 2, num_layers=2, rng=RNG)
+        out = encoder(Tensor(RNG.normal(size=(1, 5, 8))))
+        assert out.shape == (1, 5, 8)
+        assert len(encoder.parameters()) > 0
+
+
+class TestRecurrent:
+    def test_lstm_output_shape(self):
+        lstm = LSTM(3, 6, rng=RNG)
+        outputs, last = lstm(Tensor(RNG.normal(size=(4, 7, 3))))
+        assert outputs.shape == (4, 7, 6)
+        assert last.shape == (4, 6)
+
+    def test_gru_output_shape(self):
+        gru = GRU(3, 6, num_layers=2, rng=RNG)
+        outputs, last = gru(Tensor(RNG.normal(size=(2, 5, 3))))
+        assert outputs.shape == (2, 5, 6)
+        assert last.shape == (2, 6)
+
+    def test_lstm_gradients_flow_to_params(self):
+        lstm = LSTM(2, 4, rng=RNG)
+        outputs, _ = lstm(Tensor(RNG.normal(size=(2, 3, 2))))
+        outputs.sum().backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_lstm_can_fit_memory_task(self):
+        # The network must output the first input value at the last step.
+        rng = np.random.default_rng(1)
+        lstm = LSTM(1, 8, rng=rng)
+        head = Linear(8, 1, rng=rng)
+        params = lstm.parameters() + head.parameters()
+        optimizer = Adam(params, lr=0.02)
+        x = rng.normal(size=(32, 5, 1))
+        y = x[:, 0, :]
+        losses = []
+        for _ in range(60):
+            optimizer.zero_grad()
+            _, last = lstm(Tensor(x))
+            loss = F.mse_loss(head(last), Tensor(y))
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.5
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        from repro.nn.layers import Parameter
+
+        target = np.array([3.0, -2.0])
+        p = Parameter(np.zeros(2))
+        optimizer = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((p - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        from repro.nn.layers import Parameter
+
+        target = np.array([1.0, 5.0, -4.0])
+        p = Parameter(np.zeros(3))
+        optimizer = Adam([p], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = ((p - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        from repro.nn.layers import Parameter
+
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10.0
+        norm_before = clip_grad_norm([p], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_step_lr_schedule(self):
+        from repro.nn.layers import Parameter
+
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == 1.0
+        scheduler.step()
+        assert optimizer.lr == 0.5
+
+
+class TestStateDictAndSerialization:
+    def test_state_dict_round_trip(self, tmp_path):
+        model = Sequential(Linear(4, 8, rng=RNG), Linear(8, 2, rng=RNG))
+        path = str(tmp_path / "model.npz")
+        save_state_dict(model.state_dict(), path)
+        restored = load_state_dict(path)
+        fresh = Sequential(Linear(4, 8, rng=np.random.default_rng(99)),
+                           Linear(8, 2, rng=np.random.default_rng(98)))
+        fresh.load_state_dict(restored)
+        x = Tensor(RNG.normal(size=(3, 4)))
+        np.testing.assert_allclose(model(x).data, fresh(x).data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = Linear(4, 2, rng=RNG)
+        bad = {name: np.zeros((1, 1)) for name in model.state_dict()}
+        with pytest.raises(ValueError):
+            model.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key(self):
+        model = Linear(4, 2, rng=RNG)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=RNG), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestFunctionalLosses:
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert float(F.mse_loss(pred, target).data) == pytest.approx(2.5)
+
+    def test_masked_mse_ignores_unmasked(self):
+        pred = Tensor(np.array([1.0, 100.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        mask = np.array([1.0, 0.0])
+        assert float(F.masked_mse_loss(pred, target, mask).data) == pytest.approx(1.0)
+
+    def test_masked_mse_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            F.masked_mse_loss(Tensor([1.0]), Tensor([0.0]), np.array([0.0]))
+
+    def test_binary_cross_entropy_bounds(self):
+        pred = Tensor(np.array([0.9, 0.1]))
+        target = Tensor(np.array([1.0, 0.0]))
+        loss = float(F.binary_cross_entropy(pred, target).data)
+        assert 0 < loss < 0.2
+
+    def test_kl_divergence_zero_for_standard_normal(self):
+        mu = Tensor(np.zeros((4, 3)))
+        log_var = Tensor(np.zeros((4, 3)))
+        assert float(F.kl_divergence_normal(mu, log_var).data) == pytest.approx(0.0)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])

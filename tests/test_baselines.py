@@ -1,0 +1,184 @@
+"""Tests for the ten baseline detectors.
+
+Every baseline is checked for the shared detector contract (fit/score/predict
+shapes, input validation, reproducibility) plus a light sanity check that the
+scores separate an obvious injected anomaly from normal data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    BaselineResult,
+    BeatGANDetector,
+    GDNDetector,
+    IsolationForestDetector,
+    LSTMADDetector,
+    MSCREDDetector,
+    OmniAnomalyDetector,
+    TranADDetector,
+)
+from repro.data import MTSConfig, generate_mts
+
+ALL_BASELINES = sorted(BASELINE_REGISTRY.items())
+
+# Small hyper-parameters so the whole matrix stays fast.
+FAST_OVERRIDES = {
+    "IForest": dict(num_trees=20, subsample_size=64),
+    "BeatGAN": dict(window_size=16, epochs=2, hidden_dim=16, max_train_windows=32),
+    "LSTM-AD": dict(history=8, hidden_size=16, epochs=2, max_train_samples=128),
+    "InterFusion": dict(window_size=16, epochs=2, hidden_dim=16, max_train_windows=32),
+    "OmniAnomaly": dict(window_size=16, epochs=2, hidden_size=16, max_train_windows=32),
+    "GDN": dict(history=8, epochs=2, hidden_dim=16, max_train_samples=128),
+    "MAD-GAN": dict(window_size=16, epochs=2, hidden_size=16, max_train_windows=32,
+                    num_latent_candidates=4),
+    "MTAD-GAT": dict(window_size=16, epochs=2, hidden_size=16, max_train_windows=32),
+    "MSCRED": dict(window_size=16, scales=(4, 8, 16), epochs=2, max_train_windows=32),
+    "TranAD": dict(window_size=16, epochs=2, hidden_size=16, max_train_windows=32),
+}
+
+
+def make_detector(name, seed=0):
+    return BASELINE_REGISTRY[name](seed=seed, **FAST_OVERRIDES[name])
+
+
+@pytest.fixture(scope="module")
+def toy_data():
+    """A small series with a large, unmistakable anomaly in the test split."""
+    rng = np.random.default_rng(0)
+    config = MTSConfig(length=700, num_features=5, noise_scale=0.05)
+    series = generate_mts(config, rng)
+    train, test = series[:400], series[400:].copy()
+    labels = np.zeros(test.shape[0], dtype=int)
+    test[150:170] += 8.0 * test.std(axis=0)
+    labels[150:170] = 1
+    return train, test, labels
+
+
+class TestDetectorContract:
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_registry_names_match(self, name, cls):
+        assert cls.name == name
+
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_fit_predict_shapes(self, name, cls, toy_data):
+        train, test, labels = toy_data
+        result = make_detector(name).fit_predict(train, test)
+        assert isinstance(result, BaselineResult)
+        assert result.labels.shape == labels.shape
+        assert result.scores.shape == labels.shape
+        assert set(np.unique(result.labels)).issubset({0, 1})
+        assert np.isfinite(result.scores).all()
+
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_score_before_fit_raises(self, name, cls, toy_data):
+        _, test, _ = toy_data
+        with pytest.raises(RuntimeError):
+            make_detector(name).score(test)
+
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_feature_mismatch_raises(self, name, cls, toy_data):
+        train, test, _ = toy_data
+        detector = make_detector(name).fit(train)
+        with pytest.raises(ValueError):
+            detector.score(test[:, :3])
+
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_rejects_1d_input(self, name, cls):
+        with pytest.raises(ValueError):
+            make_detector(name).fit(np.zeros(50))
+
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_anomaly_scored_above_normal(self, name, cls, toy_data):
+        """The mean score inside the obvious anomaly must exceed the normal mean."""
+        train, test, labels = toy_data
+        scores = make_detector(name).fit(train).score(test)
+        anomalous = scores[labels == 1].mean()
+        normal = scores[labels == 0].mean()
+        assert anomalous > normal, f"{name} does not separate an obvious anomaly"
+
+
+class TestIsolationForest:
+    def test_deterministic_given_seed(self, toy_data):
+        train, test, _ = toy_data
+        a = IsolationForestDetector(num_trees=10, seed=1).fit(train).score(test)
+        b = IsolationForestDetector(num_trees=10, seed=1).fit(train).score(test)
+        np.testing.assert_allclose(a, b)
+
+    def test_scores_in_unit_interval(self, toy_data):
+        train, test, _ = toy_data
+        scores = IsolationForestDetector(num_trees=10, seed=0).fit(train).score(test)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+
+class TestLSTMAD:
+    def test_training_reduces_forecast_error(self, toy_data):
+        train, _, _ = toy_data
+        untrained = LSTMADDetector(history=8, epochs=0, seed=0, hidden_size=16)
+        trained = LSTMADDetector(history=8, epochs=3, seed=0, hidden_size=16,
+                                 max_train_samples=128)
+        untrained.fit(train)
+        trained.fit(train)
+        # Evaluate forecast error on the training series itself.
+        untrained_error = untrained.score(train).mean()
+        trained_error = trained.score(train).mean()
+        assert trained_error < untrained_error
+
+
+class TestOmniAnomaly:
+    def test_uses_pot_threshold(self):
+        assert OmniAnomalyDetector().use_pot is True
+
+
+class TestGDN:
+    def test_score_is_max_over_sensors(self, toy_data):
+        train, test, _ = toy_data
+        detector = GDNDetector(history=8, epochs=1, seed=0, max_train_samples=64)
+        detector.fit(train)
+        scores = detector.score(test)
+        per_sensor = detector._per_sensor_errors(detector.scaler.transform(test))
+        normalised = (per_sensor - detector._error_median) / detector._error_iqr
+        np.testing.assert_allclose(scores, normalised.max(axis=1))
+
+    def test_graph_is_sparse_topk(self, toy_data):
+        train, _, _ = toy_data
+        detector = GDNDetector(history=8, epochs=1, top_k=2, seed=0, max_train_samples=64)
+        detector.fit(train)
+        adjacency = detector._adjacency
+        assert adjacency.shape == (5, 5)
+        assert np.all(adjacency.sum(axis=1) <= 2)
+        assert np.all(np.diag(adjacency) == 0)
+
+
+class TestMSCRED:
+    def test_signature_matrix_dimension(self, toy_data):
+        train, _, _ = toy_data
+        detector = MSCREDDetector(window_size=16, scales=(4, 8), seed=0, epochs=1,
+                                  max_train_windows=16)
+        detector.fit(train)
+        window = detector.scaler.transform(train[:16])
+        features = detector._signature_matrices(window)
+        assert features.shape == (2 * 5 * 5,)
+
+
+class TestTranAD:
+    def test_two_phase_outputs_differ(self, toy_data):
+        train, test, _ = toy_data
+        detector = TranADDetector(window_size=16, epochs=1, seed=0, max_train_windows=16)
+        detector.fit(train)
+        windows, _ = detector._windows(detector.scaler.transform(test), 16, 8)
+        phase1, phase2 = detector._two_phase(windows[:2])
+        assert not np.allclose(phase1.data, phase2.data)
+
+
+class TestBeatGAN:
+    def test_discriminator_outputs_probabilities(self, toy_data):
+        train, _, _ = toy_data
+        detector = BeatGANDetector(window_size=16, epochs=1, seed=0, max_train_windows=16)
+        detector.fit(train)
+        windows, _ = detector._windows(detector.scaler.transform(train), 16, 8)
+        from repro.nn import Tensor
+
+        probs = detector._discriminator(Tensor(windows[:4].reshape(4, -1))).data
+        assert np.all((probs >= 0) & (probs <= 1))

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.dataset == "SMD"
+        assert args.epochs == 3
+        assert args.no_ensemble is False
+
+    def test_compare_detector_list(self):
+        args = build_parser().parse_args(["compare", "--detectors", "IForest, TranAD"])
+        assert args.detectors == "IForest, TranAD"
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("SMD", "PSM", "SWaT", "SMAP", "MSL", "GCP"):
+            assert name in output
+
+    def test_detect_command_runs_small(self, capsys):
+        exit_code = main([
+            "detect", "--dataset", "GCP", "--scale", "0.07", "--epochs", "1",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "f1=" in output
+        assert "throughput=" in output
+
+    def test_compare_command_runs_small(self, capsys):
+        exit_code = main([
+            "compare", "--dataset", "GCP", "--scale", "0.07",
+            "--detectors", "IForest",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "IForest" in output and "GCP" in output
+
+    def test_compare_unknown_detector_raises(self):
+        with pytest.raises(KeyError):
+            main(["compare", "--dataset", "GCP", "--scale", "0.07",
+                  "--detectors", "NotADetector"])

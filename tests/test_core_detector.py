@@ -1,0 +1,279 @@
+"""Tests for the ImDiffusion configuration, ensemble voting, thresholds and detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnsembleVoter,
+    ImDiffusionConfig,
+    ImDiffusionDetector,
+    apply_threshold,
+    build_masks,
+    percentile_threshold,
+    pot_threshold,
+    recommended_stride,
+    select_voting_steps,
+)
+from repro.data import load_dataset
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ImDiffusionConfig()
+        assert config.stride == config.window_size
+        assert config.mode == "imputation"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ImDiffusionConfig(mode="other")
+
+    def test_invalid_masking(self):
+        with pytest.raises(ValueError):
+            ImDiffusionConfig(masking="diagonal")
+
+    def test_invalid_conditioning(self):
+        with pytest.raises(ValueError):
+            ImDiffusionConfig(conditioning="semi")
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ImDiffusionConfig(window_size=2)
+
+    def test_invalid_vote_fraction(self):
+        with pytest.raises(ValueError):
+            ImDiffusionConfig(vote_fraction=0.0)
+
+    def test_with_overrides_returns_copy(self):
+        config = ImDiffusionConfig()
+        other = config.with_overrides(ensemble=False, hidden_dim=8)
+        assert other.ensemble is False and other.hidden_dim == 8
+        assert config.ensemble is True
+
+    def test_explicit_stride_preserved(self):
+        config = ImDiffusionConfig(window_size=40, stride=10)
+        assert config.stride == 10
+
+
+class TestThresholding:
+    def test_percentile_threshold(self):
+        errors = np.arange(100, dtype=float)
+        assert percentile_threshold(errors, 90) == pytest.approx(89.1)
+
+    def test_percentile_invalid(self):
+        with pytest.raises(ValueError):
+            percentile_threshold(np.arange(5), 0)
+        with pytest.raises(ValueError):
+            percentile_threshold(np.array([]), 50)
+
+    def test_apply_threshold(self):
+        labels = apply_threshold(np.array([0.1, 0.9, 0.5]), 0.5)
+        np.testing.assert_array_equal(labels, [0, 1, 1])
+
+    def test_pot_threshold_above_initial_quantile(self):
+        rng = np.random.default_rng(0)
+        errors = np.concatenate([rng.exponential(1.0, size=5000)])
+        threshold = pot_threshold(errors, initial_quantile=0.95, risk=1e-3)
+        assert threshold >= np.quantile(errors, 0.95)
+
+    def test_pot_threshold_few_exceedances_falls_back(self):
+        errors = np.ones(20)
+        errors[-1] = 5.0
+        threshold = pot_threshold(errors, initial_quantile=0.9)
+        assert threshold == pytest.approx(np.quantile(errors, 0.9))
+
+    def test_pot_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pot_threshold(np.array([]))
+        with pytest.raises(ValueError):
+            pot_threshold(np.arange(10), initial_quantile=1.5)
+
+
+class TestVotingSteps:
+    def test_last_step_always_included(self):
+        for total in (5, 20, 50):
+            steps = select_voting_steps(total, last_fraction=0.6, stride=3)
+            assert steps[-1] == total
+
+    def test_paper_configuration(self):
+        # 50 steps, last 60 %, every 3rd: starts at step 21.
+        steps = select_voting_steps(50, last_fraction=0.6, stride=3)
+        assert steps[0] >= 21
+        assert all(b - a == 3 for a, b in zip(steps[:-2], steps[1:-1]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            select_voting_steps(0, 0.5, 3)
+        with pytest.raises(ValueError):
+            select_voting_steps(10, 0.0, 3)
+        with pytest.raises(ValueError):
+            select_voting_steps(10, 0.5, 0)
+
+
+class TestEnsembleVoter:
+    def _step_errors(self, length=50, num_steps=10, seed=0):
+        rng = np.random.default_rng(seed)
+        base = rng.random(length) * 0.1
+        base[20:25] += 2.0  # clear anomaly
+        errors = {}
+        for step in range(1, num_steps + 1):
+            noise_level = (num_steps - step + 1) / num_steps
+            errors[step] = base + noise_level * rng.random(length) * 0.5
+        return errors
+
+    def test_vote_detects_clear_anomaly(self):
+        voter = EnsembleVoter(error_percentile=90, vote_fraction=0.5)
+        decision = voter.vote(self._step_errors())
+        assert decision.labels[20:25].sum() >= 4
+        assert decision.labels[:15].sum() == 0
+
+    def test_votes_bounded_by_step_count(self):
+        voter = EnsembleVoter()
+        decision = voter.vote(self._step_errors())
+        assert decision.votes.max() <= len(decision.voting_steps)
+
+    def test_step_thresholds_scale_with_error_magnitude(self):
+        voter = EnsembleVoter(error_percentile=95)
+        errors = self._step_errors()
+        decision = voter.vote(errors)
+        final = max(errors)
+        noisy = min(decision.voting_steps)
+        # Noisier steps have larger total error, hence smaller thresholds.
+        if noisy != final:
+            assert decision.step_thresholds[noisy] <= decision.step_thresholds[final] + 1e-9
+
+    def test_empty_errors_raise(self):
+        with pytest.raises(ValueError):
+            EnsembleVoter().vote({})
+        with pytest.raises(ValueError):
+            EnsembleVoter().single_step_labels({})
+
+    def test_single_step_labels_use_final_only(self):
+        voter = EnsembleVoter(error_percentile=90)
+        errors = self._step_errors()
+        labels = voter.single_step_labels(errors)
+        assert labels.shape == errors[max(errors)].shape
+        assert labels.sum() > 0
+
+    def test_higher_vote_fraction_is_stricter(self):
+        errors = self._step_errors(seed=3)
+        lenient = EnsembleVoter(error_percentile=80, vote_fraction=0.2).vote(errors)
+        strict = EnsembleVoter(error_percentile=80, vote_fraction=0.9).vote(errors)
+        assert strict.labels.sum() <= lenient.labels.sum()
+
+
+class TestModes:
+    def test_imputation_masks_grating(self):
+        config = ImDiffusionConfig(window_size=40)
+        masks = build_masks(config, 40, 6)
+        assert len(masks) == 2
+        np.testing.assert_allclose(masks[0] + masks[1], 1.0)
+
+    def test_imputation_masks_random(self):
+        config = ImDiffusionConfig(window_size=40, masking="random")
+        masks = build_masks(config, 40, 6)
+        assert len(masks) == 2
+        np.testing.assert_allclose(masks[0] + masks[1], 1.0)
+
+    def test_forecasting_mask(self):
+        config = ImDiffusionConfig(window_size=40, mode="forecasting")
+        masks = build_masks(config, 40, 3)
+        assert len(masks) == 1
+        np.testing.assert_allclose(masks[0][:20], 1.0)
+        np.testing.assert_allclose(masks[0][20:], 0.0)
+
+    def test_reconstruction_mask(self):
+        config = ImDiffusionConfig(window_size=40, mode="reconstruction")
+        masks = build_masks(config, 40, 3)
+        assert len(masks) == 1
+        np.testing.assert_allclose(masks[0], 0.0)
+
+    def test_recommended_stride(self):
+        assert recommended_stride(ImDiffusionConfig(window_size=64)) == 64
+        assert recommended_stride(ImDiffusionConfig(window_size=64, mode="forecasting")) == 32
+        assert recommended_stride(ImDiffusionConfig(window_size=64, stride=16)) == 16
+
+
+def _tiny_config(**overrides):
+    defaults = dict(window_size=24, num_steps=6, epochs=1, hidden_dim=8, num_blocks=1,
+                    num_heads=2, batch_size=4, max_train_windows=8,
+                    num_masked_windows=3, num_unmasked_windows=3, seed=0)
+    defaults.update(overrides)
+    return ImDiffusionConfig(**defaults)
+
+
+class TestImDiffusionDetector:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("GCP", seed=0, scale=0.08)
+
+    @pytest.fixture(scope="class")
+    def fitted(self, dataset):
+        detector = ImDiffusionDetector(_tiny_config())
+        detector.fit(dataset.train)
+        return detector
+
+    def test_fit_records_losses(self, fitted):
+        assert len(fitted.train_losses) == 1
+        assert np.isfinite(fitted.train_losses).all()
+
+    def test_model_exposed_after_fit(self, fitted):
+        assert fitted.model is not None
+        assert fitted.model.num_parameters() > 0
+
+    def test_score_keys_and_shapes(self, fitted, dataset):
+        step_errors = fitted.score(dataset.test)
+        assert sorted(step_errors) == list(range(1, 7))
+        for errors in step_errors.values():
+            assert errors.shape == (dataset.test.shape[0],)
+            assert np.all(errors >= 0)
+
+    def test_predict_output(self, fitted, dataset):
+        result = fitted.predict(dataset.test)
+        assert result.labels.shape == dataset.test_labels.shape
+        assert set(np.unique(result.labels)).issubset({0, 1})
+        assert result.scores.shape == result.labels.shape
+        assert result.decision is not None
+        assert result.inference_seconds > 0
+        assert result.points_per_second > 0
+
+    def test_predict_without_ensemble(self, dataset):
+        detector = ImDiffusionDetector(_tiny_config(ensemble=False))
+        result = detector.fit_predict(dataset.train, dataset.test)
+        assert result.decision is None
+        assert result.labels.shape == dataset.test_labels.shape
+
+    def test_unfitted_raises(self, dataset):
+        with pytest.raises(RuntimeError):
+            ImDiffusionDetector(_tiny_config()).predict(dataset.test)
+
+    def test_fit_rejects_bad_shapes(self):
+        detector = ImDiffusionDetector(_tiny_config())
+        with pytest.raises(ValueError):
+            detector.fit(np.zeros(100))
+        with pytest.raises(ValueError):
+            detector.fit(np.zeros((10, 3)))
+
+    def test_score_rejects_wrong_feature_count(self, fitted, dataset):
+        with pytest.raises(ValueError):
+            fitted.score(dataset.test[:, :3])
+
+    def test_forecasting_and_reconstruction_modes_run(self, dataset):
+        for mode in ("forecasting", "reconstruction"):
+            detector = ImDiffusionDetector(_tiny_config(mode=mode))
+            result = detector.fit_predict(dataset.train, dataset.test)
+            assert result.labels.shape == dataset.test_labels.shape
+
+    def test_conditional_mode_runs(self, dataset):
+        detector = ImDiffusionDetector(_tiny_config(conditioning="conditional"))
+        result = detector.fit_predict(dataset.train, dataset.test)
+        assert result.labels.shape == dataset.test_labels.shape
+
+    def test_detects_anomalies_better_than_chance(self, dataset):
+        from repro.evaluation import precision_recall_f1
+
+        detector = ImDiffusionDetector(_tiny_config(epochs=2, error_percentile=95.0))
+        result = detector.fit_predict(dataset.train, dataset.test)
+        scores = precision_recall_f1(result.labels, dataset.test_labels)
+        # The anomaly rate is ~5-10 %; random guessing at the same alarm budget
+        # would land far below this.
+        assert scores.f1 > 0.3

@@ -1,0 +1,104 @@
+"""Tests for the grating and random masking strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.masking import GratingMasking, RandomMasking, validate_masks
+
+
+class TestGratingMasking:
+    def test_two_complementary_policies(self):
+        masks = GratingMasking(5, 5).masks(100, 4)
+        assert len(masks) == 2
+        np.testing.assert_allclose(masks[0] + masks[1], np.ones((100, 4)))
+
+    def test_masks_cover_every_position(self):
+        masks = GratingMasking(5, 5).masks(100, 7)
+        validate_masks(masks)
+
+    def test_alternating_chunks(self):
+        masks = GratingMasking(2, 2).masks(40, 1)
+        mask = masks[0][:, 0]
+        # 4 chunks of 10: masked, observed, masked, observed.
+        np.testing.assert_allclose(mask[:10], 0.0)
+        np.testing.assert_allclose(mask[10:20], 1.0)
+        np.testing.assert_allclose(mask[20:30], 0.0)
+        np.testing.assert_allclose(mask[30:], 1.0)
+
+    def test_mask_constant_across_features(self):
+        masks = GratingMasking(3, 3).masks(60, 5)
+        for mask in masks:
+            assert np.all(mask == mask[:, :1])
+
+    def test_window_too_small_raises(self):
+        with pytest.raises(ValueError):
+            GratingMasking(5, 5).masks(6, 2)
+
+    def test_invalid_chunk_counts(self):
+        with pytest.raises(ValueError):
+            GratingMasking(0, 5)
+
+    def test_roughly_half_masked(self):
+        masks = GratingMasking(5, 5).masks(100, 3)
+        assert abs(masks[0].mean() - 0.5) < 0.1
+
+    @settings(max_examples=25, deadline=None)
+    @given(length=st.integers(min_value=20, max_value=300),
+           features=st.integers(min_value=1, max_value=20),
+           chunks=st.integers(min_value=1, max_value=8))
+    def test_property_complementary_and_covering(self, length, features, chunks):
+        strategy = GratingMasking(chunks, chunks)
+        if length < strategy.num_chunks:
+            length = strategy.num_chunks
+        masks = strategy.masks(length, features)
+        np.testing.assert_allclose(masks[0] + masks[1], 1.0)
+        validate_masks(masks)
+
+
+class TestRandomMasking:
+    def test_complementary_pair(self):
+        masks = RandomMasking(0.5, seed=1).masks(80, 6)
+        np.testing.assert_allclose(masks[0] + masks[1], np.ones((80, 6)))
+        validate_masks(masks)
+
+    def test_mask_ratio_respected(self):
+        masks = RandomMasking(0.3, seed=2).masks(2000, 5)
+        masked_fraction = 1.0 - masks[0].mean()
+        assert abs(masked_fraction - 0.3) < 0.05
+
+    def test_seed_reproducibility(self):
+        a = RandomMasking(0.5, seed=3).masks(50, 4)
+        b = RandomMasking(0.5, seed=3).masks(50, 4)
+        np.testing.assert_allclose(a[0], b[0])
+
+    def test_explicit_rng_overrides_seed(self):
+        strategy = RandomMasking(0.5, seed=3)
+        a = strategy.masks(50, 4, rng=np.random.default_rng(10))
+        b = strategy.masks(50, 4, rng=np.random.default_rng(11))
+        assert not np.allclose(a[0], b[0])
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            RandomMasking(0.0)
+        with pytest.raises(ValueError):
+            RandomMasking(1.0)
+
+
+class TestValidateMasks:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            validate_masks([])
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            validate_masks([np.full((4, 2), 0.5)])
+
+    def test_incomplete_coverage_raises(self):
+        with pytest.raises(ValueError):
+            validate_masks([np.ones((4, 2))])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            validate_masks([np.zeros((4, 2)), np.zeros((5, 2))])

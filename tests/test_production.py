@@ -1,0 +1,77 @@
+"""Tests for the production deployment harness (legacy detector + online evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MicroserviceLatencySimulator, ProductionConfig
+from repro.production import (
+    LegacyThresholdDetector,
+    OnlineEvaluation,
+    compare_with_legacy,
+    run_online_evaluation,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    sim = MicroserviceLatencySimulator(ProductionConfig(num_services=6, train_days=2,
+                                                        test_days=2, seed=3))
+    return sim.generate()
+
+
+class TestLegacyDetector:
+    def test_fit_predict_shapes(self, trace):
+        result = LegacyThresholdDetector(seed=0).fit_predict(trace.train, trace.test)
+        assert result.labels.shape == trace.test_labels.shape
+        assert set(np.unique(result.labels)).issubset({0, 1})
+
+    def test_detects_large_latency_regressions(self, trace):
+        detector = LegacyThresholdDetector(sigma_threshold=3.0, seed=0).fit(trace.train)
+        scores = detector.score(trace.test)
+        anomalous = scores[trace.test_labels == 1].mean()
+        normal = scores[trace.test_labels == 0].mean()
+        assert anomalous > normal
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            LegacyThresholdDetector(smoothing=0.0)
+
+    def test_sigma_threshold_controls_alarm_rate(self, trace):
+        lenient = LegacyThresholdDetector(sigma_threshold=2.0, seed=0).fit_predict(
+            trace.train, trace.test)
+        strict = LegacyThresholdDetector(sigma_threshold=6.0, seed=0).fit_predict(
+            trace.train, trace.test)
+        assert strict.labels.sum() <= lenient.labels.sum()
+
+
+class TestOnlineEvaluation:
+    def test_online_run_produces_metrics(self, trace):
+        evaluation = run_online_evaluation(LegacyThresholdDetector(seed=0), trace,
+                                           rescore_every=32)
+        assert isinstance(evaluation, OnlineEvaluation)
+        assert evaluation.labels.shape == trace.test_labels.shape
+        assert evaluation.points_per_second > 0
+        assert 0.0 <= evaluation.metrics.f1 <= 1.0
+
+    def test_rescore_block_size_does_not_change_shapes(self, trace):
+        small = run_online_evaluation(LegacyThresholdDetector(seed=0), trace, rescore_every=8)
+        large = run_online_evaluation(LegacyThresholdDetector(seed=0), trace, rescore_every=128)
+        assert small.labels.shape == large.labels.shape
+
+    def test_compare_with_legacy_keys(self, trace):
+        legacy = run_online_evaluation(LegacyThresholdDetector(sigma_threshold=6.0, seed=0),
+                                       trace, rescore_every=64)
+        better = run_online_evaluation(LegacyThresholdDetector(sigma_threshold=3.0, seed=0),
+                                       trace, rescore_every=64)
+        comparison = compare_with_legacy(better, legacy)
+        assert set(comparison) == {
+            "precision_improvement", "recall_improvement", "f1_improvement",
+            "r_auc_pr_improvement", "add_reduction", "inference_points_per_second",
+        }
+        assert comparison["inference_points_per_second"] > 0
+
+    def test_identical_detectors_have_zero_improvement(self, trace):
+        a = run_online_evaluation(LegacyThresholdDetector(seed=0), trace, rescore_every=64)
+        b = run_online_evaluation(LegacyThresholdDetector(seed=0), trace, rescore_every=64)
+        comparison = compare_with_legacy(a, b)
+        assert comparison["f1_improvement"] == pytest.approx(0.0, abs=1e-9)
