@@ -1,0 +1,11 @@
+"""Benchmark harness reproducing the paper's tables and figures.
+
+This package marker makes the relative ``from ._helpers import ...`` imports
+inside the benchmark modules package-safe, so ``pytest benchmarks`` collects
+(and runs) from the repository root.  The default test run is restricted to
+``tests/`` via ``[tool.pytest.ini_options] testpaths`` in ``pyproject.toml``;
+run the benchmarks explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks          # full harness
+    PYTHONPATH=src python -m pytest --collect-only benchmarks
+"""

@@ -1,0 +1,127 @@
+"""Serving-layer throughput: incremental scoring vs full-history re-scoring.
+
+The seed online harness re-scored the *entire* history at every poll — O(n²)
+model work over a stream of length n.  The serving layer's incremental scorer
+does amortised O(window) work per poll.  Two properties are validated here:
+
+* on a 10k-point stream, incremental scoring is at least 5x faster
+  (points/second) than the seed's full-history re-scoring protocol,
+* :func:`repro.production.run_online_evaluation` now scales near-linearly in
+  stream length (the bounded evaluation buffer caps per-poll work).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.data.production import ProductionTrace
+from repro.production import LegacyThresholdDetector, run_online_evaluation
+
+from ._helpers import print_header, run_once
+
+RESCORE_EVERY = 500
+STREAM_LENGTH = 10_000
+
+
+def _synthetic_trace(length: int, train_length: int = 600,
+                     num_channels: int = 4, seed: int = 0) -> ProductionTrace:
+    """Seasonal multichannel stream with sparse injected level shifts."""
+    def make(n: int, sub_seed: int):
+        rng = np.random.default_rng(seed + sub_seed)
+        t = np.arange(n)
+        base = 1.0 + 0.3 * np.sin(2 * np.pi * t / 96)[:, None] * np.ones((1, num_channels))
+        series = base + 0.05 * rng.standard_normal((n, num_channels))
+        labels = np.zeros(n, dtype=np.int64)
+        for start in range(n // 4, n, max(n // 10, 1)):
+            end = min(n, start + 8)
+            series[start:end] *= 1.8
+            labels[start:end] = 1
+        return series, labels
+
+    train, _ = make(train_length, 1)
+    test, labels = make(length, 2)
+    return ProductionTrace(train=train, test=test, test_labels=labels)
+
+
+def _tiny_imdiffusion() -> ImDiffusionDetector:
+    """Smallest configuration that still exercises the full scoring stack."""
+    return ImDiffusionDetector(ImDiffusionConfig(
+        window_size=16, num_steps=4, epochs=1, hidden_dim=8, num_blocks=1,
+        num_heads=2, max_train_windows=16, num_masked_windows=2,
+        num_unmasked_windows=2, deterministic_inference=True, collect="x0",
+        batch_size=32, seed=0))
+
+
+def _full_history_points_per_second(detector, trace: ProductionTrace,
+                                    rescore_every: int) -> float:
+    """The seed protocol: re-score ``test[:next_block]`` at every poll."""
+    detector.fit(trace.train)
+    length = trace.test.shape[0]
+    started = time.perf_counter()
+    processed = 0
+    while processed < length:
+        next_block = min(processed + rescore_every, length)
+        detector.predict(trace.test[:next_block])
+        processed = next_block
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    return length / elapsed
+
+
+def test_incremental_beats_full_history_rescoring(benchmark):
+    trace = _synthetic_trace(STREAM_LENGTH)
+
+    def run():
+        evaluation = run_online_evaluation(
+            _tiny_imdiffusion(), trace, rescore_every=RESCORE_EVERY)
+        full_pps = _full_history_points_per_second(
+            _tiny_imdiffusion(), trace, RESCORE_EVERY)
+        return evaluation.points_per_second, full_pps
+
+    incremental_pps, full_pps = run_once(benchmark, run)
+    speedup = incremental_pps / full_pps
+
+    print_header("Serving: incremental vs full-history re-scoring "
+                 f"({STREAM_LENGTH} points, poll every {RESCORE_EVERY})")
+    print(f"incremental scoring : {incremental_pps:10.0f} points/s")
+    print(f"full-history (seed) : {full_pps:10.0f} points/s")
+    print(f"speedup             : {speedup:10.1f}x")
+
+    assert speedup >= 5.0, (
+        f"incremental scoring is only {speedup:.1f}x faster than "
+        f"full-history re-scoring (expected >= 5x)")
+
+
+def test_online_evaluation_scales_near_linearly(benchmark):
+    """Doubling the stream 8x must not cost anywhere near 64x (O(n²)) time."""
+    short, long = 1_600, 12_800
+
+    def timed(length: int) -> float:
+        trace = _synthetic_trace(length)
+        started = time.perf_counter()
+        run_online_evaluation(LegacyThresholdDetector(seed=0), trace,
+                              rescore_every=64)
+        return time.perf_counter() - started
+
+    def run():
+        # Warm-up pass reduces allocator/jit-cache noise in the short timing.
+        timed(short)
+        return timed(short), timed(long)
+
+    short_seconds, long_seconds = run_once(benchmark, run)
+    ratio = long_seconds / max(short_seconds, 1e-9)
+    growth = long / short
+
+    print_header("Online evaluation scaling (bounded evaluation buffer)")
+    print(f"{short:6d} points: {short_seconds * 1000:8.1f} ms")
+    print(f"{long:6d} points: {long_seconds * 1000:8.1f} ms")
+    print(f"time ratio {ratio:.1f}x for a {growth:.0f}x longer stream")
+
+    # A quadratic harness would grow ~growth² (64x); allow generous slack
+    # over the ideal linear growth for timer and cache noise.
+    assert ratio <= 3.0 * growth, (
+        f"online evaluation grew {ratio:.1f}x in time for a {growth:.0f}x "
+        f"longer stream — super-linear scaling regression")

@@ -1,22 +1,29 @@
 """Command-line interface for the ImDiffusion reproduction.
 
-Three subcommands cover the common workflows without writing any code::
+Four subcommands cover the common workflows without writing any code::
 
-    python -m repro.cli detect   --dataset SMD --scale 0.1 --epochs 3
-    python -m repro.cli compare  --dataset GCP --detectors ImDiffusion,IForest,LSTM-AD
-    python -m repro.cli datasets
+    repro detect   --dataset SMD --scale 0.1 --epochs 3
+    repro compare  --dataset GCP --detectors ImDiffusion,IForest,LSTM-AD
+    repro datasets
+    repro serve    --tenants 4 --samples 384
 
-``detect`` trains ImDiffusion on one benchmark analogue and reports the full
-metric set; ``compare`` evaluates a comma-separated list of detectors on the
-same dataset; ``datasets`` lists the available dataset analogues with their
-profiles.
+(``python -m repro.cli`` works identically when the package is not
+installed.)  ``detect`` trains ImDiffusion on one benchmark analogue and
+reports the full metric set; ``compare`` evaluates a comma-separated list of
+detectors on the same dataset; ``datasets`` lists the available dataset
+analogues with their profiles; ``serve`` runs the multi-tenant streaming
+service of :mod:`repro.serving` on simulated microservice latency streams,
+sharing one registry-loaded model across all tenants.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from typing import List, Optional
+
+import numpy as np
 
 from . import ImDiffusionConfig, ImDiffusionDetector
 from .baselines import BASELINE_REGISTRY
@@ -49,6 +56,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated detector names (ImDiffusion or any baseline)")
 
     subparsers.add_parser("datasets", help="list the available dataset analogues")
+
+    serve = subparsers.add_parser(
+        "serve", help="stream multiple simulated tenants through the serving layer")
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="number of concurrent telemetry streams")
+    serve.add_argument("--samples", type=int, default=384,
+                       help="streamed samples per tenant")
+    serve.add_argument("--services", type=int, default=6,
+                       help="latency channels per tenant")
+    serve.add_argument("--train-days", type=float, default=2.0,
+                       help="history (days) the shared model is trained on")
+    serve.add_argument("--window-size", type=int, default=32)
+    serve.add_argument("--num-steps", type=int, default=8)
+    serve.add_argument("--epochs", type=int, default=2)
+    serve.add_argument("--hidden-dim", type=int, default=16)
+    serve.add_argument("--flush-size", type=int, default=8,
+                       help="windows per coalesced denoiser call")
+    serve.add_argument("--flush-age", type=float, default=2.0,
+                       help="seconds a window may wait before an age-based flush")
+    serve.add_argument("--history", type=int, default=512,
+                       help="per-tenant sliding evaluation buffer (samples)")
+    serve.add_argument("--registry", default=None,
+                       help="model registry directory (default: a temp dir)")
+    serve.add_argument("--model-name", default="latency-monitor",
+                       help="registry name the shared model is published under")
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -108,6 +141,86 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .data.production import MicroserviceLatencySimulator, ProductionConfig
+    from .serving import DetectorService, ModelRegistry, ServingConfig
+
+    # --- Simulate one latency stream per tenant (log scale, as in Sec. 6). --
+    test_days = max(args.samples / 96.0, 0.25)
+    traces = {}
+    for i in range(args.tenants):
+        sim = MicroserviceLatencySimulator(ProductionConfig(
+            num_services=args.services, train_days=args.train_days,
+            test_days=test_days, seed=args.seed + i))
+        raw = sim.generate()
+        traces[f"tenant-{i}"] = (np.log(raw.train), np.log(raw.test),
+                                 raw.test_labels)
+
+    # --- Train (or reuse) the shared model and publish it in the registry. --
+    registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(registry_dir)
+    if args.model_name in registry:
+        record = registry.record(args.model_name)
+        if record.num_features != args.services:
+            print(f"error: registry model {args.model_name!r} expects "
+                  f"{record.num_features} services per tenant but --services "
+                  f"is {args.services}; delete the model or match the shape")
+            return 2
+        print(f"Loading warm model {args.model_name!r} from {registry.root} "
+              f"(model flags are taken from the checkpoint)")
+    else:
+        config = ImDiffusionConfig(
+            window_size=args.window_size, num_steps=args.num_steps,
+            epochs=args.epochs, hidden_dim=args.hidden_dim, num_blocks=1,
+            num_masked_windows=4, num_unmasked_windows=4,
+            max_train_windows=48, train_stride=8,
+            deterministic_inference=True, collect="x0",
+            error_percentile=96.0, seed=args.seed,
+        )
+        detector = ImDiffusionDetector(config)
+        train = traces["tenant-0"][0]
+        print(f"Training shared model on {train.shape[0]} samples "
+              f"({train.shape[1]} services) ...")
+        detector.fit(train)
+        registry.save(args.model_name, detector)
+        print(f"Published {registry.record(args.model_name).describe()}")
+    detector = registry.load(args.model_name)
+
+    # --- Stream all tenants concurrently through one service. ---------------
+    service = DetectorService(detector, ServingConfig(
+        flush_size=args.flush_size, flush_age=args.flush_age,
+        history=args.history))
+    for tenant in traces:
+        service.register_tenant(tenant)
+
+    print(f"Streaming {args.tenants} tenants x {args.samples} samples ...")
+    alarms = []
+    for step in range(args.samples):
+        for tenant, (_, test, _) in traces.items():
+            if step < test.shape[0]:
+                alarms.extend(service.ingest(tenant, test[step]))
+        alarms.extend(service.pump())
+    alarms.extend(service.drain())
+
+    # --- Report accuracy per tenant and service telemetry. ------------------
+    print()
+    print(f"{'tenant':10s} {'alarms':>7s} {'precision':>10s} {'recall':>7s} {'f1':>6s}")
+    for tenant, (_, test, labels) in traces.items():
+        view = service.tenant_view(tenant)
+        end = min(view.end, labels.shape[0])
+        if end <= view.start:
+            continue
+        truth = labels[view.start:end]
+        metrics = evaluate_labels(view.labels[:end - view.start],
+                                  view.scores[:end - view.start], truth)
+        count = sum(1 for a in alarms if a.tenant == tenant)
+        print(f"{tenant:10s} {count:7d} {metrics.precision:10.3f} "
+              f"{metrics.recall:7.3f} {metrics.f1:6.3f}")
+    print()
+    print(service.metrics.format_table())
+    return 0
+
+
 def _run_datasets() -> int:
     print(f"{'name':6s} {'features':>8s} {'train':>7s} {'test':>7s} {'anomaly %':>10s}  description")
     for name in list_datasets():
@@ -126,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "datasets":
         return _run_datasets()
+    if args.command == "serve":
+        return _run_serve(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

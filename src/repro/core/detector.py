@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -102,19 +102,8 @@ class ImDiffusionDetector:
                                       replace=False)
             windows = windows[chosen]
 
-        masks = build_masks(config, config.window_size, self._num_features)
-        model = ImTransformer(
-            num_features=self._num_features,
-            hidden_dim=config.hidden_dim,
-            num_blocks=config.num_blocks,
-            num_heads=config.num_heads,
-            num_policies=max(len(masks), 2),
-            include_temporal=config.include_temporal,
-            include_spatial=config.include_spatial,
-            rng=self._rng,
-        )
-        diffusion = GaussianDiffusion(self._make_schedule())
-        self._imputer = ImputedDiffusion(model, diffusion, conditioning=config.conditioning)
+        masks = self._build_network(self._num_features)
+        model = self._imputer.model
 
         optimizer = Adam(model.parameters(), lr=config.learning_rate)
         num_windows = windows.shape[0]
@@ -142,6 +131,82 @@ class ImDiffusionDetector:
             return make_schedule("cosine", config.num_steps)
         return make_schedule(config.schedule, config.num_steps,
                              beta_start=config.beta_start, beta_end=config.beta_end)
+
+    def _build_network(self, num_features: int) -> List[np.ndarray]:
+        """Construct the denoiser + diffusion stack for ``num_features`` channels.
+
+        Shared by :meth:`fit` and checkpoint restoration so a deserialised
+        detector rebuilds exactly the architecture that was trained.  Returns
+        the mask set so :meth:`fit` can reuse it for training.
+        """
+        config = self.config
+        masks = build_masks(config, config.window_size, num_features)
+        model = ImTransformer(
+            num_features=num_features,
+            hidden_dim=config.hidden_dim,
+            num_blocks=config.num_blocks,
+            num_heads=config.num_heads,
+            num_policies=max(len(masks), 2),
+            include_temporal=config.include_temporal,
+            include_spatial=config.include_spatial,
+            rng=self._rng,
+        )
+        diffusion = GaussianDiffusion(self._make_schedule())
+        self._imputer = ImputedDiffusion(model, diffusion, conditioning=config.conditioning)
+        return masks
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_checkpoint(self) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Export the fitted detector as ``(arrays, metadata)``.
+
+        ``arrays`` holds the denoiser weights (prefixed ``model.``) and the
+        scaler statistics (prefixed ``scaler.``); ``metadata`` holds the
+        configuration, feature count, training curve and the exact random
+        generator state, so a restored detector continues the same random
+        stream and produces bit-identical predictions.
+        """
+        self._check_fitted()
+        arrays: Dict[str, np.ndarray] = {
+            f"model.{name}": value
+            for name, value in self._imputer.model.state_dict().items()
+        }
+        arrays["scaler.mean_"] = np.asarray(self._scaler.mean_)
+        arrays["scaler.std_"] = np.asarray(self._scaler.std_)
+        metadata = {
+            "format_version": 1,
+            "config": asdict(self.config),
+            "num_features": int(self._num_features),
+            "train_losses": [float(loss) for loss in self.train_losses],
+            "rng_state": self._rng.bit_generator.state,
+        }
+        return arrays, metadata
+
+    @classmethod
+    def from_checkpoint(cls, arrays: Dict[str, np.ndarray],
+                        metadata: dict) -> "ImDiffusionDetector":
+        """Rebuild a fitted detector from :meth:`to_checkpoint` output."""
+        version = metadata.get("format_version")
+        if version != 1:
+            raise ValueError(f"unsupported checkpoint format version: {version!r}")
+        config = ImDiffusionConfig(**metadata["config"])
+        detector = cls(config)
+        detector._num_features = int(metadata["num_features"])
+        detector._scaler.mean_ = np.asarray(arrays["scaler.mean_"], dtype=np.float64)
+        detector._scaler.std_ = np.asarray(arrays["scaler.std_"], dtype=np.float64)
+        detector._build_network(detector._num_features)
+        state = {
+            name[len("model."):]: value
+            for name, value in arrays.items()
+            if name.startswith("model.")
+        }
+        detector._imputer.model.load_state_dict(state)
+        detector.train_losses = [float(loss) for loss in metadata.get("train_losses", [])]
+        rng_state = metadata.get("rng_state")
+        if rng_state is not None:
+            detector._rng.bit_generator.state = rng_state
+        return detector
 
     # ------------------------------------------------------------------
     # Scoring
@@ -175,16 +240,8 @@ class ImDiffusionDetector:
             for chunk_start in range(0, windows.shape[0], config.batch_size):
                 chunk = windows[chunk_start:chunk_start + config.batch_size]
                 chunk_starts = starts[chunk_start:chunk_start + config.batch_size]
-                batch_masks = np.broadcast_to(mask, chunk.shape)
-                policies = np.full(chunk.shape[0], policy_index, dtype=np.int64)
-                result = self._imputer.impute(
-                    chunk, batch_masks, policies, self._rng,
-                    collect=config.collect,
-                    deterministic=config.deterministic_inference,
-                )
-                for diffusion_step, estimate in result.intermediate:
-                    progress = num_steps - diffusion_step + 1
-                    squared = ((estimate - chunk) ** 2) * target_region
+                for progress, squared in self._impute_window_errors(
+                        chunk, mask, policy_index, self._rng):
                     for window_error, start in zip(squared, chunk_starts):
                         error_sum[progress][start:start + config.window_size] += window_error
                 for start in chunk_starts:
@@ -195,6 +252,28 @@ class ImDiffusionDetector:
         for progress, totals in error_sum.items():
             step_errors[progress] = totals.sum(axis=1) / coverage
         return step_errors
+
+    def _impute_window_errors(self, chunk: np.ndarray, mask: np.ndarray,
+                              policy_index: int, rng: np.random.Generator):
+        """Run one mask policy over a chunk of windows.
+
+        Yields ``(progress, squared)`` pairs with ``squared`` of shape
+        ``(chunk, window, features)``, restricted to the masked region.
+        Shared by offline scoring and the serving layer's batched scorer so
+        the imputation-error formula cannot drift between the two paths.
+        """
+        config = self.config
+        target_region = 1.0 - mask
+        batch_masks = np.broadcast_to(mask, chunk.shape)
+        policies = np.full(chunk.shape[0], policy_index, dtype=np.int64)
+        result = self._imputer.impute(
+            chunk, batch_masks, policies, rng,
+            collect=config.collect,
+            deterministic=config.deterministic_inference,
+        )
+        for diffusion_step, estimate in result.intermediate:
+            progress = config.num_steps - diffusion_step + 1
+            yield progress, ((estimate - chunk) ** 2) * target_region
 
     # ------------------------------------------------------------------
     # Prediction
@@ -238,6 +317,15 @@ class ImDiffusionDetector:
         if self._imputer is None:
             return None
         return self._imputer.model
+
+    @property
+    def num_features(self) -> Optional[int]:
+        """Number of input channels the detector was fitted on."""
+        return self._num_features
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._imputer is not None
 
     def _check_fitted(self) -> None:
         if self._imputer is None:

@@ -29,7 +29,15 @@ from .layers import (
 from .attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
 from .recurrent import GRU, GRUCell, LSTM, LSTMCell
 from .optim import Adam, Optimizer, SGD, StepLR, clip_grad_norm
-from .serialization import load_module, load_state_dict, save_module, save_state_dict
+from .serialization import (
+    load_checkpoint,
+    load_checkpoint_metadata,
+    load_module,
+    load_state_dict,
+    save_checkpoint,
+    save_module,
+    save_state_dict,
+)
 
 __all__ = [
     "Tensor",
@@ -69,4 +77,7 @@ __all__ = [
     "load_module",
     "save_state_dict",
     "load_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_checkpoint_metadata",
 ]

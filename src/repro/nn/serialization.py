@@ -2,14 +2,26 @@
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_module", "load_module", "save_state_dict", "load_state_dict"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "save_state_dict",
+    "load_state_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_checkpoint_metadata",
+]
+
+#: Reserved archive key holding the JSON metadata of a checkpoint.
+METADATA_KEY = "__checkpoint_metadata__"
 
 
 def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
@@ -27,6 +39,44 @@ def load_state_dict(path: str) -> Dict[str, np.ndarray]:
     """Load a ``state_dict`` previously written by :func:`save_state_dict`."""
     with np.load(path) as archive:
         return {name: archive[name] for name in archive.files}
+
+
+def save_checkpoint(path: str, arrays: Dict[str, np.ndarray], metadata: dict) -> None:
+    """Persist named arrays plus a JSON-serialisable metadata dict in one archive.
+
+    The metadata is stored as a UTF-8 byte array under :data:`METADATA_KEY`
+    inside the same ``.npz`` file, so a checkpoint is a single portable file.
+    JSON keeps arbitrary-precision integers, which matters for the random
+    generator state stored by the model registry.
+    """
+    if METADATA_KEY in arrays:
+        raise ValueError(f"array name {METADATA_KEY!r} is reserved for metadata")
+    payload = dict(arrays)
+    encoded = json.dumps(metadata).encode("utf-8")
+    payload[METADATA_KEY] = np.frombuffer(encoded, dtype=np.uint8)
+    save_state_dict(payload, path)
+
+
+def load_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Load ``(arrays, metadata)`` previously written by :func:`save_checkpoint`."""
+    state = load_state_dict(path)
+    raw = state.pop(METADATA_KEY, None)
+    if raw is None:
+        raise KeyError(f"{path!r} is not a checkpoint: missing {METADATA_KEY!r}")
+    metadata = json.loads(raw.tobytes().decode("utf-8"))
+    return state, metadata
+
+
+def load_checkpoint_metadata(path: str) -> dict:
+    """Read only the metadata of a checkpoint, without decompressing arrays.
+
+    ``np.load`` on an ``.npz`` archive is lazy per entry, so cataloguing many
+    checkpoints stays cheap regardless of model size.
+    """
+    with np.load(path) as archive:
+        if METADATA_KEY not in archive.files:
+            raise KeyError(f"{path!r} is not a checkpoint: missing {METADATA_KEY!r}")
+        return json.loads(archive[METADATA_KEY].tobytes().decode("utf-8"))
 
 
 def save_module(module: Module, path: str) -> None:

@@ -12,6 +12,19 @@ protocol on the simulated trace of :mod:`repro.data.production`:
   metric set are recorded,
 * :func:`compare_with_legacy` reports the *relative improvement* of one
   detector over another — the quantity Table 7 of the paper publishes.
+
+Two scoring paths are available:
+
+* **Incremental** (default for :class:`~repro.core.ImDiffusionDetector`):
+  the stream runs through :class:`~repro.serving.IncrementalScorer`, which
+  scores only the new tail of the sliding window at each poll — amortised
+  O(window) model work per poll, so the whole stream costs O(n) instead of
+  the O(n²) of re-scoring the full history.
+* **Bounded re-scoring** (generic detectors, e.g. the legacy monitor): every
+  ``rescore_every`` samples the detector re-scores the most recent
+  ``eval_buffer`` points and the labels of the new samples are taken from
+  that pass.  No future information leaks into the decision for a timestamp
+  in either path.
 """
 
 from __future__ import annotations
@@ -22,11 +35,18 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..data.production import MicroserviceLatencySimulator, ProductionConfig, ProductionTrace
+from ..core import ImDiffusionDetector
+from ..data.production import ProductionTrace
 from ..evaluation import evaluate_labels
 from ..evaluation.runner import RunMetrics
 
 __all__ = ["OnlineEvaluation", "run_online_evaluation", "compare_with_legacy"]
+
+#: Default size of the sliding evaluation buffer (in samples).  At the
+#: paper's 30-second sampling this is roughly a week of telemetry — long
+#: enough for stable thresholds, bounded so per-poll work never grows with
+#: the age of the stream.
+DEFAULT_EVAL_BUFFER = 1024
 
 
 @dataclass
@@ -40,18 +60,48 @@ class OnlineEvaluation:
 
 
 def run_online_evaluation(detector, trace: ProductionTrace,
-                          rescore_every: int = 16) -> OnlineEvaluation:
+                          rescore_every: int = 16,
+                          eval_buffer: int = DEFAULT_EVAL_BUFFER,
+                          incremental: Optional[bool] = None) -> OnlineEvaluation:
     """Stream the test split of ``trace`` through a fitted or unfitted detector.
 
     The detector is fitted on the trace's train split, then the test split is
-    consumed in arrival order.  Every ``rescore_every`` new samples the
-    detector re-scores the history seen so far (production systems batch the
-    scoring of recent samples for efficiency); the labels of the new samples
-    are taken from that scoring pass, so no future information leaks into the
-    decision for a timestamp.
+    consumed in arrival order in blocks of ``rescore_every`` samples
+    (production systems batch the scoring of recent samples for efficiency).
+    ``eval_buffer`` bounds the history visible to any single scoring pass, so
+    per-poll work is independent of the total stream length.
+
+    ``incremental`` selects the scoring path; by default ImDiffusion
+    detectors use the incremental tail scorer and every other detector uses
+    bounded re-scoring.
     """
+    if rescore_every < 1:
+        raise ValueError("rescore_every must be positive")
+    if eval_buffer < rescore_every:
+        raise ValueError("eval_buffer must be at least rescore_every")
     detector.fit(trace.train)
-    length = trace.test.shape[0]
+    if incremental is None:
+        incremental = isinstance(detector, ImDiffusionDetector)
+    if incremental:
+        labels, scores, elapsed = _stream_incremental(
+            detector, trace.test, rescore_every, eval_buffer)
+    else:
+        labels, scores, elapsed = _stream_bounded(
+            detector, trace.test, rescore_every, eval_buffer)
+
+    metrics = evaluate_labels(labels, scores, trace.test_labels)
+    return OnlineEvaluation(
+        metrics=metrics,
+        labels=labels,
+        scores=scores,
+        points_per_second=float(trace.test.shape[0] / elapsed),
+    )
+
+
+def _stream_bounded(detector, test: np.ndarray, rescore_every: int,
+                    eval_buffer: int):
+    """Generic path: re-score a bounded trailing buffer at every poll."""
+    length = test.shape[0]
     labels = np.zeros(length, dtype=np.int64)
     scores = np.zeros(length, dtype=np.float64)
 
@@ -59,21 +109,51 @@ def run_online_evaluation(detector, trace: ProductionTrace,
     processed = 0
     while processed < length:
         next_block = min(processed + rescore_every, length)
-        history = trace.test[:next_block]
+        window_start = max(0, next_block - eval_buffer)
+        history = test[window_start:next_block]
         prediction = detector.predict(history)
-        block = slice(processed, next_block)
-        labels[block] = np.asarray(prediction.labels)[block]
-        scores[block] = np.asarray(prediction.scores)[block]
+        block = slice(processed - window_start, next_block - window_start)
+        labels[processed:next_block] = np.asarray(prediction.labels)[block]
+        scores[processed:next_block] = np.asarray(prediction.scores)[block]
         processed = next_block
     elapsed = max(time.perf_counter() - start_time, 1e-9)
+    return labels, scores, elapsed
 
-    metrics = evaluate_labels(labels, scores, trace.test_labels)
-    return OnlineEvaluation(
-        metrics=metrics,
-        labels=labels,
-        scores=scores,
-        points_per_second=float(length / elapsed),
-    )
+
+def _stream_incremental(detector: ImDiffusionDetector, test: np.ndarray,
+                        rescore_every: int, eval_buffer: int):
+    """ImDiffusion path: score only the new tail via the serving-layer scorer."""
+    from ..serving import IncrementalScorer  # deferred: serving imports production
+
+    window = detector.config.window_size
+    history = max(eval_buffer, window)
+    scorer = IncrementalScorer(detector, history=history,
+                               raw_capacity=max(history, 4 * window))
+    tenant = "online"
+    scorer.register_tenant(tenant)
+
+    length = test.shape[0]
+    labels = np.zeros(length, dtype=np.int64)
+    scores = np.zeros(length, dtype=np.float64)
+    written_until = 0
+
+    start_time = time.perf_counter()
+    processed = 0
+    while processed < length:
+        next_block = min(processed + rescore_every, length)
+        scorer.ingest(tenant, test[processed:next_block])
+        # Score the new tail: complete windows plus a window anchored at the
+        # stream end, so the freshest points get labels at this poll.
+        if scorer.total(tenant) >= window:
+            scorer.score_pending(tenant, anchor_tail=True)
+            view = scorer.decide(tenant)
+            lo = max(written_until, view.start)
+            labels[lo:view.end] = view.labels[lo - view.start:]
+            scores[lo:view.end] = view.scores[lo - view.start:]
+            written_until = view.end
+        processed = next_block
+    elapsed = max(time.perf_counter() - start_time, 1e-9)
+    return labels, scores, elapsed
 
 
 def compare_with_legacy(candidate_eval: OnlineEvaluation,

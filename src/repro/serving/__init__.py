@@ -1,0 +1,56 @@
+"""Streaming serving layer: multi-tenant online anomaly detection.
+
+The paper's deployment story (Sec. 6) is a latency monitor polling telemetry
+every 30 seconds.  This package turns the offline detector into a long-lived,
+multi-tenant service:
+
+* :mod:`~repro.serving.router` — event ingress with bounded per-tenant buffers,
+* :mod:`~repro.serving.batcher` — cross-tenant micro-batching of denoiser
+  calls with flush-by-size / flush-by-age and backpressure,
+* :mod:`~repro.serving.scorer` — incremental tail scoring (amortised
+  O(window) per poll instead of O(history)),
+* :mod:`~repro.serving.registry` — checkpointing fitted detectors so tenants
+  share warm models,
+* :mod:`~repro.serving.metrics` — operational telemetry of the service itself,
+* :mod:`~repro.serving.service` — the :class:`DetectorService` orchestrator.
+
+Quickstart::
+
+    from repro.serving import DetectorService, ModelRegistry, ServingConfig
+
+    registry = ModelRegistry("./models")
+    registry.save("latency-monitor", fitted_detector)
+
+    service = DetectorService(registry.load("latency-monitor"),
+                              ServingConfig(flush_size=8, history=512))
+    for tenant, sample in telemetry:
+        for alarm in service.ingest(tenant, sample):
+            page_oncall(alarm)
+"""
+
+from .batcher import BatchResult, BatcherStats, MicroBatcher
+from .buffers import RingBuffer
+from .metrics import LatencyTracker, ServiceMetrics
+from .registry import ModelRecord, ModelRegistry
+from .router import StreamRouter, TelemetryEvent
+from .scorer import IncrementalScorer, PendingWindow, ScoreView
+from .service import Alarm, DetectorService, ServingConfig
+
+__all__ = [
+    "Alarm",
+    "BatchResult",
+    "BatcherStats",
+    "DetectorService",
+    "IncrementalScorer",
+    "LatencyTracker",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelRegistry",
+    "PendingWindow",
+    "RingBuffer",
+    "ScoreView",
+    "ServiceMetrics",
+    "ServingConfig",
+    "StreamRouter",
+    "TelemetryEvent",
+]

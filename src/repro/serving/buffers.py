@@ -1,0 +1,119 @@
+"""Bounded per-tenant buffers used throughout the serving layer.
+
+The serving layer never keeps unbounded history: raw telemetry and per-step
+score caches both live in fixed-capacity ring buffers addressed by *absolute*
+stream indices.  Index ``i`` always refers to the ``i``-th point a tenant ever
+produced, regardless of how many older points have been evicted, which keeps
+bookkeeping (scored-up-to markers, alarm cursors) immune to wrap-around.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity chronological buffer of ``(time, width)`` rows.
+
+    Rows are addressed by absolute index: ``start_index`` is the oldest
+    retained row, ``end_index`` one past the newest.  Appending past capacity
+    silently evicts the oldest rows (and counts them in :attr:`evicted`).
+    """
+
+    def __init__(self, capacity: int, width: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.capacity = int(capacity)
+        self.width = int(width)
+        self._data = np.zeros((self.capacity, self.width), dtype=np.float64)
+        self._end = 0  # absolute index one past the newest row
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def end_index(self) -> int:
+        return self._end
+
+    @property
+    def start_index(self) -> int:
+        return max(0, self._end - self.capacity)
+
+    @property
+    def size(self) -> int:
+        return self._end - self.start_index
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    def append(self, rows: np.ndarray) -> int:
+        """Append rows at the end of the stream; returns how many were evicted."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.shape[1] != self.width:
+            raise ValueError(f"expected rows of width {self.width}, got {rows.shape[1]}")
+        before = self.start_index
+        self.write_at(self._end, rows)
+        newly_evicted = self.start_index - before
+        return newly_evicted
+
+    def write_at(self, abs_start: int, rows: np.ndarray) -> None:
+        """Write rows at an absolute position, extending the stream if needed.
+
+        Positions already evicted are skipped.  Writing past ``end_index``
+        advances it; a gap between the current end and ``abs_start`` (e.g. a
+        stream whose head was evicted before it was ever scored) is
+        zero-filled so the retained range stays contiguous.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        count = rows.shape[0]
+        if abs_start < 0:
+            raise IndexError(f"write at negative index {abs_start}")
+        if abs_start > self._end:
+            gap = min(abs_start - self._end, self.capacity)
+            positions = (abs_start - np.arange(1, gap + 1)) % self.capacity
+            self._data[positions] = 0.0
+        end = abs_start + count
+        new_end = max(self._end, end)
+        # Skip any part that falls before the post-write retention horizon.
+        horizon = max(0, new_end - self.capacity)
+        if abs_start < horizon:
+            skip = horizon - abs_start
+            rows = rows[skip:]
+            abs_start = horizon
+            count = rows.shape[0]
+        if count:
+            positions = (abs_start + np.arange(count)) % self.capacity
+            self._data[positions] = rows
+        if new_end > self._end:
+            self.evicted += max(0, horizon - self.start_index)
+            self._end = new_end
+
+    # ------------------------------------------------------------------
+    def view(self, abs_start: Optional[int] = None,
+             abs_end: Optional[int] = None) -> np.ndarray:
+        """Chronological copy of the retained rows in ``[abs_start, abs_end)``.
+
+        Defaults to the full retained range; requested bounds must lie inside
+        it.
+        """
+        lo = self.start_index if abs_start is None else int(abs_start)
+        hi = self._end if abs_end is None else int(abs_end)
+        if lo < self.start_index or hi > self._end or lo > hi:
+            raise IndexError(
+                f"range [{lo}, {hi}) outside retained [{self.start_index}, {self._end})"
+            )
+        if lo == hi:
+            return np.empty((0, self.width), dtype=np.float64)
+        positions = (lo + np.arange(hi - lo)) % self.capacity
+        return self._data[positions].copy()
+
+    def tail(self, count: int) -> np.ndarray:
+        """The newest ``count`` retained rows (fewer if the buffer is shorter)."""
+        count = min(int(count), self.size)
+        return self.view(self._end - count, self._end)

@@ -1,0 +1,126 @@
+"""Persistent registry of fitted detectors shared across tenants.
+
+Training an ImDiffusion detector is by far the most expensive step of the
+serving pipeline, so fitted models are checkpointed once and shared: the
+registry stores each model as a single ``.npz`` checkpoint (denoiser weights,
+scaler statistics, configuration and random-generator state) written through
+:mod:`repro.nn.serialization`, and any number of serving processes can load
+the same warm model.  Restored detectors produce bit-identical predictions to
+the detector that was saved.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core import ImDiffusionDetector
+from ..nn.serialization import load_checkpoint, load_checkpoint_metadata, save_checkpoint
+
+__all__ = ["ModelRecord", "ModelRegistry"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_SUFFIX = ".ckpt.npz"
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Catalogue entry describing one registered model."""
+
+    name: str
+    path: str
+    num_features: int
+    window_size: int
+    num_steps: int
+    created_at: float
+    size_bytes: int
+
+    def describe(self) -> str:
+        return (f"{self.name}: {self.num_features} features, "
+                f"window {self.window_size}, {self.num_steps} diffusion steps, "
+                f"{self.size_bytes / 1024:.1f} KiB")
+
+
+class ModelRegistry:
+    """File-system backed catalogue of fitted :class:`ImDiffusionDetector` models."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> str:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_' or '-'"
+            )
+        return os.path.join(self.root, name + _SUFFIX)
+
+    # ------------------------------------------------------------------
+    def save(self, name: str, detector: ImDiffusionDetector,
+             metadata: Optional[dict] = None) -> str:
+        """Checkpoint a fitted detector under ``name``; returns the file path.
+
+        Saving under an existing name overwrites the previous checkpoint
+        (publishing a retrained model is an atomic file replacement).
+        """
+        path = self._path(name)
+        arrays, meta = detector.to_checkpoint()
+        meta["registry"] = {
+            "name": name,
+            "created_at": time.time(),
+            "extra": metadata or {},
+        }
+        tmp_path = path + ".tmp.npz"  # np.savez appends .npz to bare names
+        save_checkpoint(tmp_path, arrays, meta)
+        os.replace(tmp_path, path)
+        return path
+
+    def load(self, name: str) -> ImDiffusionDetector:
+        """Rebuild the fitted detector registered under ``name``."""
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise KeyError(f"no model named {name!r} in registry at {self.root}")
+        arrays, meta = load_checkpoint(path)
+        return ImDiffusionDetector.from_checkpoint(arrays, meta)
+
+    # ------------------------------------------------------------------
+    def record(self, name: str) -> ModelRecord:
+        """Catalogue metadata for ``name`` without rebuilding the network."""
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise KeyError(f"no model named {name!r} in registry at {self.root}")
+        meta = load_checkpoint_metadata(path)
+        config = meta["config"]
+        return ModelRecord(
+            name=name,
+            path=path,
+            num_features=int(meta["num_features"]),
+            window_size=int(config["window_size"]),
+            num_steps=int(config["num_steps"]),
+            created_at=float(meta.get("registry", {}).get("created_at", 0.0)),
+            size_bytes=os.path.getsize(path),
+        )
+
+    def list_models(self) -> List[str]:
+        names = [
+            entry[: -len(_SUFFIX)]
+            for entry in os.listdir(self.root)
+            if entry.endswith(_SUFFIX)
+        ]
+        return sorted(names)
+
+    def records(self) -> Dict[str, ModelRecord]:
+        return {name: self.record(name) for name in self.list_models()}
+
+    def __contains__(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if not os.path.exists(path):
+            raise KeyError(f"no model named {name!r} in registry at {self.root}")
+        os.remove(path)

@@ -1,0 +1,70 @@
+"""Event ingress: route per-tenant telemetry into bounded buffers and windows.
+
+The :class:`StreamRouter` is the front door of the serving layer.  Producers
+push :class:`TelemetryEvent` instances (or raw ``(tenant, values)`` pairs);
+the router appends them to the owning tenant's bounded ring buffer inside the
+:class:`~repro.serving.scorer.IncrementalScorer` and emits complete detection
+windows downstream (normally into the micro-batcher) as soon as they fill up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .scorer import IncrementalScorer, PendingWindow
+
+__all__ = ["TelemetryEvent", "StreamRouter"]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One telemetry sample from one tenant.
+
+    ``values`` is the multivariate observation (one entry per monitored
+    channel); ``timestamp`` is an optional producer-side time (seconds).
+    """
+
+    tenant: str
+    values: np.ndarray
+    timestamp: Optional[float] = None
+
+
+class StreamRouter:
+    """Ingest telemetry events and emit full detection windows per tenant."""
+
+    def __init__(self, scorer: IncrementalScorer,
+                 on_window: Optional[Callable[[PendingWindow], None]] = None,
+                 auto_register: bool = True) -> None:
+        self.scorer = scorer
+        self.on_window = on_window
+        self.auto_register = auto_register
+        self.events_ingested = 0
+        self.points_evicted = 0
+
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str) -> None:
+        self.scorer.register_tenant(tenant)
+
+    def tenants(self) -> List[str]:
+        return self.scorer.tenants()
+
+    # ------------------------------------------------------------------
+    def ingest(self, event: TelemetryEvent) -> List[PendingWindow]:
+        """Route one event; returns the windows it completed (usually 0 or 1)."""
+        return self.ingest_points(event.tenant, np.atleast_2d(event.values))
+
+    def ingest_points(self, tenant: str, points: np.ndarray) -> List[PendingWindow]:
+        """Route a contiguous block of points from one tenant."""
+        if self.auto_register and not self.scorer.is_registered(tenant):
+            self.scorer.register_tenant(tenant)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.points_evicted += self.scorer.ingest(tenant, points)
+        self.events_ingested += points.shape[0]
+        windows = self.scorer.pending_windows(tenant)
+        if self.on_window is not None:
+            for window in windows:
+                self.on_window(window)
+        return windows

@@ -1,0 +1,185 @@
+"""The multi-tenant detector service: router → micro-batcher → scorer.
+
+:class:`DetectorService` wires the serving pieces into one long-lived,
+multi-tenant monitor around a single shared (typically registry-loaded)
+detector:
+
+* producers push telemetry through :meth:`ingest`,
+* the :class:`~repro.serving.router.StreamRouter` forms detection windows and
+  hands them to the :class:`~repro.serving.batcher.MicroBatcher`,
+* flushed batches run one coalesced denoiser call in the
+  :class:`~repro.serving.scorer.IncrementalScorer`, whose per-tenant score
+  caches the service then re-evaluates for fresh alarms,
+* :class:`~repro.serving.metrics.ServiceMetrics` tracks throughput, scoring
+  latency percentiles, queue depth and alarm rate throughout.
+
+The service is single-threaded and event-driven: call :meth:`pump` (or let
+:meth:`ingest` do it) to advance flush-by-age timers, and :meth:`drain` at
+shutdown to score whatever is still queued.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core import ImDiffusionDetector
+from .batcher import BatchResult, MicroBatcher
+from .metrics import ServiceMetrics
+from .router import StreamRouter, TelemetryEvent
+from .scorer import IncrementalScorer, PendingWindow, ScoreView
+
+__all__ = ["Alarm", "ServingConfig", "DetectorService"]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One anomaly alarm: a flagged timestamp in one tenant's stream."""
+
+    tenant: str
+    index: int    # absolute stream index of the flagged point
+    score: float  # final-step imputation error at that point
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the serving layer (the model itself is configured separately)."""
+
+    flush_size: int = 8        # windows per coalesced denoiser call
+    flush_age: float = 2.0     # seconds a window may wait before an age flush
+    max_pending: int = 64      # queue bound triggering backpressure
+    history: int = 1024        # per-tenant score-cache / evaluation buffer
+    raw_capacity: Optional[int] = None  # per-tenant raw ring (default from scorer)
+
+
+class DetectorService:
+    """Serve many telemetry streams through one shared fitted detector."""
+
+    def __init__(self, detector: ImDiffusionDetector,
+                 config: Optional[ServingConfig] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.config = config or ServingConfig()
+        self.metrics = ServiceMetrics(clock=clock)
+        self.scorer = IncrementalScorer(
+            detector, history=self.config.history,
+            raw_capacity=self.config.raw_capacity)
+        self.batcher = MicroBatcher(
+            score_fn=self.scorer.score_window_batch,
+            flush_size=self.config.flush_size,
+            flush_age=self.config.flush_age,
+            max_pending=self.config.max_pending,
+            on_result=self._merge_result,
+            on_batch=self._record_batch,
+            clock=clock,
+        )
+        self.router = StreamRouter(self.scorer, on_window=self.batcher.submit)
+        self._alarm_cursor: Dict[str, int] = {}
+        self._dirty: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str) -> None:
+        """Register a tenant; idempotent for tenants the router auto-registered."""
+        if not self.scorer.is_registered(tenant):
+            self.router.register_tenant(tenant)
+        self._alarm_cursor.setdefault(tenant, 0)
+        self._dirty.setdefault(tenant, False)
+        self.metrics.active_tenants = len(self.scorer.tenants())
+
+    def tenants(self) -> List[str]:
+        return self.scorer.tenants()
+
+    # ------------------------------------------------------------------
+    # Batcher callbacks
+    # ------------------------------------------------------------------
+    def _merge_result(self, request: PendingWindow,
+                      step_errors: Dict[int, np.ndarray]) -> None:
+        self.scorer.merge(request.tenant, request.start, step_errors)
+        # Tenants may enter through the router's auto-register path, so the
+        # service-side cursors are created lazily.
+        self._alarm_cursor.setdefault(request.tenant, 0)
+        self._dirty[request.tenant] = True
+
+    def _record_batch(self, result: BatchResult) -> None:
+        points = result.num_windows * self.scorer.window_size
+        self.metrics.record_batch(result.num_windows, points, result.seconds,
+                                  result.reason)
+
+    def _sync_gauges(self) -> None:
+        self.metrics.events_ingested = self.router.events_ingested
+        self.metrics.points_evicted = self.router.points_evicted
+        self.metrics.backpressure_events = self.batcher.stats.backpressure_events
+        self.metrics.queue_depth = self.batcher.queue_depth
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def ingest(self, tenant: str, values: np.ndarray) -> List[Alarm]:
+        """Push one sample (or a contiguous block) from one tenant.
+
+        Completed windows are queued for micro-batched scoring; any flush
+        triggered along the way (size or backpressure) may produce fresh
+        alarms, which are returned.
+        """
+        if tenant not in self._alarm_cursor:
+            self.register_tenant(tenant)
+        self.router.ingest_points(tenant, values)
+        self.batcher.maybe_flush()
+        self._sync_gauges()
+        return self.collect_alarms()
+
+    def ingest_event(self, event: TelemetryEvent) -> List[Alarm]:
+        return self.ingest(event.tenant, np.atleast_2d(event.values))
+
+    # ------------------------------------------------------------------
+    # Poll-driven progress
+    # ------------------------------------------------------------------
+    def pump(self) -> List[Alarm]:
+        """Advance time-based flushing; call periodically when ingest is idle."""
+        self.batcher.maybe_flush()
+        self._sync_gauges()
+        return self.collect_alarms()
+
+    def drain(self) -> List[Alarm]:
+        """Flush every queued window and score all anchored tails (shutdown)."""
+        self.batcher.flush(reason="forced")
+        # Score partial tails directly so the last points of each stream get
+        # labels even when they never filled a window.  Anchored tails mostly
+        # re-score points already counted, so only the newly covered span is
+        # added to the throughput counters, and no synthetic latency sample
+        # is recorded.
+        for tenant in self.scorer.tenants():
+            before = self.scorer.scored_until(tenant)
+            scored = self.scorer.score_pending(tenant, anchor_tail=True)
+            if scored:
+                new_points = self.scorer.scored_until(tenant) - before
+                self.metrics.record_drain(scored, new_points)
+                self._dirty[tenant] = True
+        self._sync_gauges()
+        return self.collect_alarms()
+
+    # ------------------------------------------------------------------
+    # Alarms
+    # ------------------------------------------------------------------
+    def collect_alarms(self) -> List[Alarm]:
+        """Fresh alarms from every tenant whose scores changed since last check."""
+        alarms: List[Alarm] = []
+        for tenant, dirty in list(self._dirty.items()):
+            if not dirty:
+                continue
+            self._dirty[tenant] = False
+            view = self.scorer.decide(tenant)
+            cursor = max(self._alarm_cursor[tenant], view.start)
+            for index in range(cursor, view.end):
+                if view.label_at(index):
+                    alarms.append(Alarm(tenant=tenant, index=index,
+                                        score=view.score_at(index)))
+            self._alarm_cursor[tenant] = view.end
+        self.metrics.alarms_raised += len(alarms)
+        return alarms
+
+    def tenant_view(self, tenant: str) -> ScoreView:
+        """Current labels/scores over one tenant's retained evaluation buffer."""
+        return self.scorer.decide(tenant)

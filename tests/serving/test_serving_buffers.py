@@ -1,0 +1,79 @@
+"""Tests for the bounded ring buffer underlying the serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.serving import RingBuffer
+
+
+class TestRingBuffer:
+    def test_append_and_view(self):
+        buffer = RingBuffer(capacity=8, width=2)
+        rows = np.arange(10).reshape(5, 2).astype(float)
+        evicted = buffer.append(rows)
+        assert evicted == 0
+        assert buffer.start_index == 0
+        assert buffer.end_index == 5
+        assert np.array_equal(buffer.view(), rows)
+
+    def test_eviction_past_capacity(self):
+        buffer = RingBuffer(capacity=4, width=1)
+        buffer.append(np.arange(10).reshape(10, 1).astype(float))
+        assert buffer.start_index == 6
+        assert buffer.end_index == 10
+        assert buffer.evicted == 6
+        assert np.array_equal(buffer.view().ravel(), [6.0, 7.0, 8.0, 9.0])
+
+    def test_append_returns_newly_evicted(self):
+        buffer = RingBuffer(capacity=4, width=1)
+        assert buffer.append(np.zeros((3, 1))) == 0
+        assert buffer.append(np.zeros((3, 1))) == 2
+
+    def test_absolute_indexing_survives_wraparound(self):
+        buffer = RingBuffer(capacity=4, width=1)
+        buffer.append(np.arange(7).reshape(7, 1).astype(float))
+        assert np.array_equal(buffer.view(4, 6).ravel(), [4.0, 5.0])
+
+    def test_view_outside_retained_range_raises(self):
+        buffer = RingBuffer(capacity=4, width=1)
+        buffer.append(np.arange(6).reshape(6, 1).astype(float))
+        with pytest.raises(IndexError):
+            buffer.view(0, 3)  # rows 0..1 already evicted
+        with pytest.raises(IndexError):
+            buffer.view(4, 7)  # beyond the end
+
+    def test_write_at_overwrites_retained_rows(self):
+        buffer = RingBuffer(capacity=8, width=1)
+        buffer.append(np.zeros((6, 1)))
+        buffer.write_at(2, np.full((3, 1), 9.0))
+        assert np.array_equal(buffer.view().ravel(), [0, 0, 9, 9, 9, 0])
+
+    def test_write_at_extends_the_stream(self):
+        buffer = RingBuffer(capacity=8, width=1)
+        buffer.append(np.zeros((4, 1)))
+        buffer.write_at(2, np.full((4, 1), 7.0))
+        assert buffer.end_index == 6
+        assert np.array_equal(buffer.view().ravel(), [0, 0, 7, 7, 7, 7])
+
+    def test_write_at_zero_fills_gaps(self):
+        buffer = RingBuffer(capacity=8, width=1)
+        buffer.append(np.full((2, 1), 3.0))
+        buffer.write_at(5, np.ones((1, 1)))
+        assert buffer.end_index == 6
+        assert np.array_equal(buffer.view().ravel(), [3, 3, 0, 0, 0, 1])
+
+    def test_write_at_negative_raises(self):
+        buffer = RingBuffer(capacity=8, width=1)
+        with pytest.raises(IndexError):
+            buffer.write_at(-1, np.ones((1, 1)))
+
+    def test_tail(self):
+        buffer = RingBuffer(capacity=4, width=1)
+        buffer.append(np.arange(6).reshape(6, 1).astype(float))
+        assert np.array_equal(buffer.tail(2).ravel(), [4.0, 5.0])
+        assert buffer.tail(100).shape[0] == 4
+
+    def test_width_mismatch_raises(self):
+        buffer = RingBuffer(capacity=4, width=3)
+        with pytest.raises(ValueError):
+            buffer.append(np.zeros((2, 2)))

@@ -1,0 +1,150 @@
+"""Tests for incremental scoring: equivalence with offline scoring, caching."""
+
+import numpy as np
+import pytest
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.serving import IncrementalScorer
+
+
+def make_series(length, channels=3, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.sin(2 * np.pi * t / 32)[:, None] * np.ones((1, channels))
+    return base + 0.1 * rng.standard_normal((length, channels))
+
+
+@pytest.fixture(scope="module")
+def detector():
+    config = ImDiffusionConfig(
+        window_size=16, num_steps=4, epochs=1, hidden_dim=8, num_blocks=1,
+        num_heads=2, max_train_windows=12, num_masked_windows=2,
+        num_unmasked_windows=2, batch_size=8, seed=0)
+    return ImDiffusionDetector(config).fit(make_series(200, seed=1))
+
+
+class TestConstruction:
+    def test_requires_fitted_detector(self):
+        with pytest.raises(ValueError):
+            IncrementalScorer(ImDiffusionDetector())
+
+    def test_history_must_cover_a_window(self, detector):
+        with pytest.raises(ValueError):
+            IncrementalScorer(detector, history=8)
+
+    def test_tenants_must_be_registered(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        with pytest.raises(KeyError):
+            scorer.ingest("ghost", np.zeros((1, 3)))
+        scorer.register_tenant("a")
+        with pytest.raises(ValueError):
+            scorer.register_tenant("a")
+
+
+class TestBatchEquivalence:
+    def test_matches_offline_score_on_aligned_series(self, detector):
+        """Batched window scoring reproduces ImDiffusionDetector.score exactly
+        when fed the same windows with the same generator state."""
+        test = make_series(64, seed=2)  # 4 non-overlapping windows of 16
+
+        detector._rng = np.random.default_rng(1234)
+        offline = detector.score(test)
+
+        scorer = IncrementalScorer(detector, history=64)
+        scaled = scorer.scale(test)
+        windows = scaled.reshape(4, 16, 3)
+        batched = scorer.score_window_batch(
+            windows, rng=np.random.default_rng(1234))
+
+        assert set(batched) == set(offline)
+        for progress in offline:
+            flattened = batched[progress].reshape(-1)
+            np.testing.assert_allclose(flattened, offline[progress],
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_rejects_wrong_window_shape(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        with pytest.raises(ValueError):
+            scorer.score_window_batch(np.zeros((2, 8, 3)))
+
+
+class TestIncrementalFlow:
+    def test_pending_windows_form_at_window_boundaries(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        scorer.register_tenant("a")
+        series = make_series(40, seed=3)
+        scorer.ingest("a", series[:15])
+        assert scorer.pending_windows("a") == []
+        scorer.ingest("a", series[15:33])
+        pending = scorer.pending_windows("a")
+        assert [p.start for p in pending] == [0, 16]
+        # Already-emitted windows are not emitted twice.
+        assert scorer.pending_windows("a") == []
+
+    def test_anchor_tail_covers_stream_end(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        scorer.register_tenant("a")
+        scorer.ingest("a", make_series(24, seed=3))
+        pending = scorer.pending_windows("a", anchor_tail=True)
+        assert [p.start for p in pending] == [0, 8]
+
+    def test_score_pending_merges_and_decides(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        scorer.register_tenant("a")
+        scorer.ingest("a", make_series(48, seed=4))
+        scored = scorer.score_pending("a")
+        assert scored == 3
+        assert scorer.scored_until("a") == 48
+        view = scorer.decide("a")
+        assert view.start == 0 and view.end == 48
+        assert view.labels.shape == (48,)
+        assert view.scores.shape == (48,)
+        assert set(np.unique(view.labels)).issubset({0, 1})
+        assert np.all(view.scores >= 0)
+
+    def test_decide_before_any_scores_is_empty(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        scorer.register_tenant("a")
+        view = scorer.decide("a")
+        assert view.labels.shape == (0,)
+
+    def test_score_cache_is_bounded(self, detector):
+        scorer = IncrementalScorer(detector, history=32, raw_capacity=64)
+        scorer.register_tenant("a")
+        scorer.ingest("a", make_series(96, seed=5))
+        scorer.score_pending("a")
+        view = scorer.decide("a")
+        assert view.end == 96
+        assert view.end - view.start == 32  # only the evaluation buffer is kept
+
+    def test_raw_buffer_eviction_drops_unscored_points(self, detector):
+        scorer = IncrementalScorer(detector, history=32, raw_capacity=32)
+        scorer.register_tenant("a")
+        scorer.ingest("a", make_series(80, seed=6))  # 48 points evicted unscored
+        pending = scorer.pending_windows("a")
+        assert [p.start for p in pending] == [48, 64]
+        assert scorer.dropped_points("a") == 48
+
+    def test_decide_excludes_gap_filled_rows(self, detector):
+        """Points evicted before scoring must not enter the vote as fake
+        zero-error evidence (regression test)."""
+        scorer = IncrementalScorer(detector, history=64, raw_capacity=32)
+        scorer.register_tenant("a")
+        scorer.ingest("a", make_series(80, seed=9))
+        scorer.score_pending("a")
+        view = scorer.decide("a")
+        assert view.start == 48  # the unscored [0, 48) span is excluded
+        assert view.end == 80
+        assert view.labels.shape == (32,)
+
+    def test_tenant_streams_are_independent(self, detector):
+        scorer = IncrementalScorer(detector, history=64)
+        scorer.register_tenant("a")
+        scorer.register_tenant("b")
+        scorer.ingest("a", make_series(32, seed=7))
+        scorer.ingest("b", make_series(16, seed=8))
+        assert scorer.total("a") == 32
+        assert scorer.total("b") == 16
+        scorer.score_pending("a")
+        assert scorer.scored_until("a") == 32
+        assert scorer.scored_until("b") == 0
