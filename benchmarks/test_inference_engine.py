@@ -1,0 +1,197 @@
+"""Inference-engine benchmark: strided sampling + no_grad scoring speedup.
+
+Three properties of the grad-free vectorized inference engine are validated
+and recorded:
+
+* end-to-end ``DiffusionDetector.score`` with the strided sampler at an
+  effective stride of 4 (``num_inference_steps = num_steps / 4``) is at
+  least 3x faster than the full trajectory,
+* the strided sampler at stride 1 is *bit-identical* to the full trajectory
+  (the engine is a strict superset of the paper's algorithm),
+* a ``no_grad`` denoiser forward pass is faster than the grad-recording one
+  (the closure/graph bookkeeping is really skipped).
+
+Every run appends its numbers to ``BENCH_inference.json`` (path overridable
+via ``REPRO_BENCH_INFER_OUTPUT``) so CI can archive the perf trajectory
+across PRs.  ``REPRO_BENCH_INFER_POINTS`` shrinks the scored series for
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.nn import no_grad
+
+from ._helpers import print_header, run_once
+
+POINTS = int(os.environ.get("REPRO_BENCH_INFER_POINTS", "1536"))
+OUTPUT = os.environ.get("REPRO_BENCH_INFER_OUTPUT", "BENCH_inference.json")
+NUM_STEPS = 20
+STRIDE = 4
+
+
+def _engine_config(**overrides) -> ImDiffusionConfig:
+    base = dict(
+        window_size=32, num_steps=NUM_STEPS, epochs=1, hidden_dim=16,
+        num_blocks=1, num_heads=2, max_train_windows=16,
+        num_masked_windows=2, num_unmasked_windows=2, batch_size=32,
+        deterministic_inference=True, collect="x0", seed=0)
+    base.update(overrides)
+    return ImDiffusionConfig(**base)
+
+
+def _series(length: int, num_channels: int = 4, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.sin(2 * np.pi * t / 64)[:, None] * np.ones((1, num_channels))
+    return base + 0.05 * rng.standard_normal((length, num_channels))
+
+
+def _fit(config: ImDiffusionConfig) -> ImDiffusionDetector:
+    return ImDiffusionDetector(config).fit(_series(320, seed=1))
+
+
+def _timed_score(detector: ImDiffusionDetector, test: np.ndarray):
+    started = time.perf_counter()
+    step_errors = detector.score(test)
+    return step_errors, max(time.perf_counter() - started, 1e-9)
+
+
+def _record(payload: dict) -> None:
+    """Append this run's numbers to the JSON artifact tracked by CI."""
+    history = []
+    if os.path.exists(OUTPUT):
+        try:
+            with open(OUTPUT) as handle:
+                history = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(payload)
+    with open(OUTPUT, "w") as handle:
+        json.dump(history, handle, indent=2)
+
+
+def test_strided_no_grad_scoring_speedup(benchmark):
+    """Stride 4 + no_grad must deliver >= 3x end-to-end score() speedup."""
+    test = _series(POINTS, seed=2)
+
+    def run():
+        full = _fit(_engine_config())
+        _, full_seconds = _timed_score(full, test)
+
+        strided = _fit(_engine_config(
+            sampler="strided", num_inference_steps=NUM_STEPS // STRIDE))
+        _, strided_seconds = _timed_score(strided, test)
+        return full_seconds, strided_seconds
+
+    full_seconds, strided_seconds = run_once(benchmark, run)
+    speedup = full_seconds / strided_seconds
+
+    print_header(f"Inference engine: strided (T/{STRIDE}) vs full trajectory "
+                 f"({POINTS} points, T={NUM_STEPS})")
+    print(f"full trajectory  : {full_seconds * 1000:8.1f} ms "
+          f"({POINTS / full_seconds:8.0f} points/s)")
+    print(f"strided sampler  : {strided_seconds * 1000:8.1f} ms "
+          f"({POINTS / strided_seconds:8.0f} points/s)")
+    print(f"speedup          : {speedup:8.1f}x")
+
+    _record({
+        "benchmark": "strided_no_grad_scoring_speedup",
+        "points": POINTS,
+        "num_steps": NUM_STEPS,
+        "num_inference_steps": NUM_STEPS // STRIDE,
+        "full_seconds": full_seconds,
+        "strided_seconds": strided_seconds,
+        "speedup": speedup,
+    })
+
+    assert speedup >= 3.0, (
+        f"strided sampler is only {speedup:.1f}x faster than the full "
+        f"trajectory (expected >= 3x at stride {STRIDE})")
+
+
+def test_stride_one_scores_bit_identical(benchmark):
+    """The engine at stride 1 reproduces the full trajectory exactly."""
+    test = _series(min(POINTS, 512), seed=3)
+
+    def run():
+        full = _fit(_engine_config())
+        full_errors, _ = _timed_score(full, test)
+        stride1 = _fit(_engine_config(
+            sampler="strided", num_inference_steps=NUM_STEPS))
+        stride1_errors, _ = _timed_score(stride1, test)
+        return full_errors, stride1_errors
+
+    full_errors, stride1_errors = run_once(benchmark, run)
+
+    assert sorted(full_errors) == sorted(stride1_errors)
+    max_delta = 0.0
+    for key in full_errors:
+        np.testing.assert_array_equal(stride1_errors[key], full_errors[key])
+        delta = float(np.max(np.abs(stride1_errors[key] - full_errors[key])))
+        max_delta = max(max_delta, delta)
+
+    print_header("Inference engine: stride-1 regression (bit-identity)")
+    print(f"max |stride1 - full| over {len(full_errors)} steps: {max_delta:.1e}")
+
+    _record({
+        "benchmark": "stride_one_bit_identity",
+        "points": int(test.shape[0]),
+        "num_steps": NUM_STEPS,
+        "max_abs_delta": max_delta,
+    })
+
+
+def test_no_grad_forward_is_faster(benchmark):
+    """A graph-free denoiser forward must beat the grad-recording one."""
+    detector = _fit(_engine_config())
+    model = detector.model
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 2, 4, 32))
+    steps = rng.integers(1, NUM_STEPS + 1, size=32)
+    policies = rng.integers(0, 2, size=32)
+    repeats = 8
+
+    def run():
+        model(x, steps, policies)  # warm-up
+        started = time.perf_counter()
+        for _ in range(repeats):
+            model(x, steps, policies)
+        grad_seconds = time.perf_counter() - started
+
+        with no_grad():
+            model(x, steps, policies)  # warm-up
+            started = time.perf_counter()
+            for _ in range(repeats):
+                model(x, steps, policies)
+            no_grad_seconds = time.perf_counter() - started
+        return grad_seconds, no_grad_seconds
+
+    grad_seconds, no_grad_seconds = run_once(benchmark, run)
+    ratio = grad_seconds / max(no_grad_seconds, 1e-9)
+
+    print_header("Inference engine: denoiser forward, grad vs no_grad "
+                 f"(batch 32, {repeats} repeats)")
+    print(f"grad-recording : {grad_seconds * 1000:8.1f} ms")
+    print(f"no_grad        : {no_grad_seconds * 1000:8.1f} ms")
+    print(f"ratio          : {ratio:8.2f}x")
+
+    _record({
+        "benchmark": "no_grad_forward",
+        "grad_seconds": grad_seconds,
+        "no_grad_seconds": no_grad_seconds,
+        "ratio": ratio,
+    })
+
+    # The exact margin is machine-dependent; just require a real win.
+    assert no_grad_seconds < grad_seconds, (
+        f"no_grad forward ({no_grad_seconds:.3f}s) is not faster than the "
+        f"grad-recording forward ({grad_seconds:.3f}s)")

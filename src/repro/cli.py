@@ -49,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--error-percentile", type=float, default=96.0)
     detect.add_argument("--no-ensemble", action="store_true",
                         help="threshold only the final denoising step")
+    _add_engine_arguments(detect)
 
     compare = subparsers.add_parser("compare", help="compare several detectors on one dataset")
     _add_dataset_arguments(compare)
@@ -82,7 +83,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model-name", default="latency-monitor",
                        help="registry name the shared model is published under")
     serve.add_argument("--seed", type=int, default=0)
+    _add_engine_arguments(serve)
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Inference-engine knobs shared by the scoring subcommands.
+
+    Both default to ``None`` (= keep the config/checkpoint value) so that a
+    warm ``serve`` reload never silently reverts a published strided model
+    to the full trajectory.
+    """
+    parser.add_argument("--sampler", choices=("full", "strided"), default=None,
+                        help="reverse-diffusion trajectory: 'full' walks every "
+                             "step, 'strided' takes DDIM-style jumps over "
+                             "--num-inference-steps evenly spaced steps "
+                             "(default: the config/checkpoint value)")
+    parser.add_argument("--num-inference-steps", type=int, default=None,
+                        help="denoiser calls per reverse pass; implies "
+                             "--sampler strided (default: ~num_steps/4 when "
+                             "strided is selected without a count)")
+
+
+def _engine_overrides(args: argparse.Namespace) -> dict:
+    """The explicitly passed engine knobs, ready for ``with_overrides``."""
+    overrides = {}
+    if args.sampler is not None:
+        overrides["sampler"] = args.sampler
+        if args.sampler == "full":
+            # A leftover step count would re-imply strided in __post_init__.
+            overrides["num_inference_steps"] = None
+    if args.num_inference_steps is not None:
+        overrides["num_inference_steps"] = args.num_inference_steps
+    return overrides
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -102,6 +135,7 @@ def _run_detect(args: argparse.Namespace) -> int:
         error_percentile=args.error_percentile,
         ensemble=not args.no_ensemble,
         seed=args.seed,
+        **_engine_overrides(args),
     )
     detector = ImDiffusionDetector(config)
     print(f"Training ImDiffusion on {dataset.name} "
@@ -185,6 +219,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         registry.save(args.model_name, detector)
         print(f"Published {registry.record(args.model_name).describe()}")
     detector = registry.load(args.model_name)
+    # The sampler is a pure inference knob: it can differ from whatever the
+    # checkpoint was trained/published with, so apply it after loading — but
+    # only when explicitly passed, keeping the checkpoint's engine otherwise.
+    overrides = _engine_overrides(args)
+    if overrides:
+        detector.config = detector.config.with_overrides(**overrides)
 
     # --- Stream all tenants concurrently through one service. ---------------
     service = DetectorService(detector, ServingConfig(

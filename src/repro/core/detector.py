@@ -212,11 +212,18 @@ class ImDiffusionDetector:
     # Scoring
     # ------------------------------------------------------------------
     def score(self, test: np.ndarray) -> Dict[int, np.ndarray]:
-        """Per-timestamp imputation error for every denoising-progress step.
+        """Per-timestamp imputation error for every visited denoising step.
 
         Returns a mapping ``progress -> errors`` where progress ``k`` runs
-        from 1 (noisiest intermediate output) to ``num_steps`` (final, fully
-        denoised output) and ``errors`` has one entry per test timestamp.
+        from 1 (noisiest intermediate output) to :attr:`inference_steps`
+        (final, fully denoised output) and ``errors`` has one entry per test
+        timestamp.  With the full sampler :attr:`inference_steps` equals
+        ``num_steps``; a strided sampler collects one entry per *visited*
+        step of its trajectory.
+
+        The whole pass runs grad-free: the denoiser is switched to eval mode
+        and every reverse-diffusion call executes under
+        :class:`repro.nn.no_grad`, so no autograd graph is ever built.
         """
         self._check_fitted()
         config = self.config
@@ -231,21 +238,30 @@ class ImDiffusionDetector:
         masks = build_masks(config, config.window_size, self._num_features)
 
         length = scaled.shape[0]
-        num_steps = config.num_steps
-        error_sum = {k: np.zeros((length, self._num_features)) for k in range(1, num_steps + 1)}
+        sampler = config.build_sampler()
+        num_collected = sampler.num_inference_steps(config.num_steps)
+        error_sum = {k: np.zeros((length, self._num_features))
+                     for k in range(1, num_collected + 1)}
         masked_count = np.zeros((length, self._num_features))
 
-        for policy_index, mask in enumerate(masks):
-            target_region = 1.0 - mask
-            for chunk_start in range(0, windows.shape[0], config.batch_size):
-                chunk = windows[chunk_start:chunk_start + config.batch_size]
-                chunk_starts = starts[chunk_start:chunk_start + config.batch_size]
-                for progress, squared in self._impute_window_errors(
-                        chunk, mask, policy_index, self._rng):
-                    for window_error, start in zip(squared, chunk_starts):
-                        error_sum[progress][start:start + config.window_size] += window_error
-                for start in chunk_starts:
-                    masked_count[start:start + config.window_size] += target_region
+        model = self._imputer.model
+        was_training = model.training
+        model.eval()
+        try:
+            for policy_index, mask in enumerate(masks):
+                target_region = 1.0 - mask
+                for chunk_start in range(0, windows.shape[0], config.batch_size):
+                    chunk = windows[chunk_start:chunk_start + config.batch_size]
+                    chunk_starts = starts[chunk_start:chunk_start + config.batch_size]
+                    for progress, squared in self._impute_window_errors(
+                            chunk, mask, policy_index, self._rng, sampler=sampler):
+                        for window_error, start in zip(squared, chunk_starts):
+                            error_sum[progress][start:start + config.window_size] += window_error
+                    for start in chunk_starts:
+                        masked_count[start:start + config.window_size] += target_region
+        finally:
+            if was_training:
+                model.train()
 
         coverage = np.maximum(masked_count.sum(axis=1), 1.0)
         step_errors: Dict[int, np.ndarray] = {}
@@ -254,15 +270,19 @@ class ImDiffusionDetector:
         return step_errors
 
     def _impute_window_errors(self, chunk: np.ndarray, mask: np.ndarray,
-                              policy_index: int, rng: np.random.Generator):
+                              policy_index: int, rng: np.random.Generator,
+                              sampler=None):
         """Run one mask policy over a chunk of windows.
 
         Yields ``(progress, squared)`` pairs with ``squared`` of shape
         ``(chunk, window, features)``, restricted to the masked region.
-        Shared by offline scoring and the serving layer's batched scorer so
-        the imputation-error formula cannot drift between the two paths.
+        Progress counts visited steps from 1 (noisiest) upward, so it stays
+        dense even under a strided sampler.  Shared by offline scoring and
+        the serving layer's batched scorer so the imputation-error formula
+        cannot drift between the two paths.
         """
         config = self.config
+        sampler = sampler or config.build_sampler()
         target_region = 1.0 - mask
         batch_masks = np.broadcast_to(mask, chunk.shape)
         policies = np.full(chunk.shape[0], policy_index, dtype=np.int64)
@@ -270,9 +290,9 @@ class ImDiffusionDetector:
             chunk, batch_masks, policies, rng,
             collect=config.collect,
             deterministic=config.deterministic_inference,
+            sampler=sampler,
         )
-        for diffusion_step, estimate in result.intermediate:
-            progress = config.num_steps - diffusion_step + 1
+        for progress, (_, estimate) in enumerate(result.intermediate, start=1):
             yield progress, ((estimate - chunk) ** 2) * target_region
 
     # ------------------------------------------------------------------

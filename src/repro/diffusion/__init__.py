@@ -2,6 +2,12 @@
 
 from .ddpm import GaussianDiffusion
 from .imputation import ImputationResult, ImputedDiffusion
+from .samplers import (
+    FullReverseSampler,
+    ReverseSampler,
+    StridedReverseSampler,
+    make_sampler,
+)
 from .schedule import (
     NoiseSchedule,
     cosine_beta_schedule,
@@ -14,6 +20,10 @@ __all__ = [
     "GaussianDiffusion",
     "ImputationResult",
     "ImputedDiffusion",
+    "ReverseSampler",
+    "FullReverseSampler",
+    "StridedReverseSampler",
+    "make_sampler",
     "NoiseSchedule",
     "cosine_beta_schedule",
     "linear_beta_schedule",

@@ -5,11 +5,17 @@ the paper on plain NumPy arrays (the denoiser network is the only learnable
 component, handled by the caller).  It is intentionally model-agnostic: the
 imputation-specific logic (masks, conditioning on forward noise) lives in
 :mod:`repro.diffusion.imputation`.
+
+Every step argument ``t`` is either a scalar (the classic single-timestep
+form) or an integer array of shape ``(batch,)``, in which case the schedule
+coefficients are gathered per sample and broadcast against the data — the
+array form is what lets one denoiser/reverse-step call serve a micro-batch
+whose windows sit at *different* points of the reverse trajectory.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -17,12 +23,16 @@ from .schedule import NoiseSchedule
 
 __all__ = ["GaussianDiffusion"]
 
+StepLike = Union[int, np.integer, np.ndarray]
+
 
 class GaussianDiffusion:
     """Forward / reverse process utilities for a fixed :class:`NoiseSchedule`.
 
     All step indices ``t`` are 1-based (``1 .. T``) to match the paper's
-    notation; index ``t`` therefore reads array position ``t - 1``.
+    notation; index ``t`` therefore reads array position ``t - 1``.  Scalar
+    and array-valued ``t`` are both accepted everywhere (see module
+    docstring).
     """
 
     def __init__(self, schedule: NoiseSchedule) -> None:
@@ -35,18 +45,20 @@ class GaussianDiffusion:
     # ------------------------------------------------------------------
     # Forward process
     # ------------------------------------------------------------------
-    def q_sample(self, x0: np.ndarray, t: int, noise: Optional[np.ndarray] = None,
+    def q_sample(self, x0: np.ndarray, t: StepLike, noise: Optional[np.ndarray] = None,
                  rng: Optional[np.random.Generator] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Sample ``x_t ~ q(x_t | x_0)`` in closed form.
 
         Returns ``(x_t, noise)`` where ``noise`` is the standard Gaussian used
-        for the corruption (the regression target of the denoiser).
+        for the corruption (the regression target of the denoiser).  With
+        array-valued ``t`` of shape ``(batch,)`` each sample ``x0[i]`` is
+        corrupted to its own step ``t[i]``.
         """
         self._check_step(t)
         if noise is None:
             rng = rng or np.random.default_rng()
             noise = rng.standard_normal(x0.shape)
-        alpha_bar = self.schedule.alpha_bars[t - 1]
+        alpha_bar = self._gather(self.schedule.alpha_bars, t, np.ndim(x0))
         x_t = np.sqrt(alpha_bar) * x0 + np.sqrt(1.0 - alpha_bar) * noise
         return x_t, noise
 
@@ -57,30 +69,56 @@ class GaussianDiffusion:
     # ------------------------------------------------------------------
     # Reverse process
     # ------------------------------------------------------------------
-    def predict_x0_from_eps(self, x_t: np.ndarray, t: int, eps: np.ndarray) -> np.ndarray:
+    def predict_x0_from_eps(self, x_t: np.ndarray, t: StepLike, eps: np.ndarray) -> np.ndarray:
         """Recover the implied clean sample from a noise prediction."""
         self._check_step(t)
-        alpha_bar = self.schedule.alpha_bars[t - 1]
+        alpha_bar = self._gather(self.schedule.alpha_bars, t, np.ndim(x_t))
         return (x_t - np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha_bar)
 
-    def posterior_mean_from_eps(self, x_t: np.ndarray, t: int, eps: np.ndarray) -> np.ndarray:
+    def posterior_mean_from_eps(self, x_t: np.ndarray, t: StepLike, eps: np.ndarray) -> np.ndarray:
         """Mean of ``p(x_{t-1} | x_t)`` with the DDPM fixed-variance parameterisation (Eq. 5)."""
         self._check_step(t)
-        alpha = self.schedule.alphas[t - 1]
-        alpha_bar = self.schedule.alpha_bars[t - 1]
-        beta = self.schedule.betas[t - 1]
+        ndim = np.ndim(x_t)
+        alpha = self._gather(self.schedule.alphas, t, ndim)
+        alpha_bar = self._gather(self.schedule.alpha_bars, t, ndim)
+        beta = self._gather(self.schedule.betas, t, ndim)
         return (x_t - beta / np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha)
 
-    def p_sample(self, x_t: np.ndarray, t: int, eps: np.ndarray,
+    def p_mean_variance(self, x_t: np.ndarray, t: StepLike,
+                        eps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean and variance of the reverse transition ``p(x_{t-1} | x_t)``.
+
+        The variance is the schedule's posterior variance
+        :math:`\\tilde\\beta_t`, broadcastable against ``x_t`` (a scalar for
+        scalar ``t``, shape ``(batch, 1, ...)`` for array ``t``).
+        """
+        mean = self.posterior_mean_from_eps(x_t, t, eps)
+        variance = self.schedule.posterior_variance(t)
+        if np.ndim(t) > 0:
+            variance = np.reshape(variance, np.shape(t) + (1,) * (np.ndim(x_t) - 1))
+        return mean, variance
+
+    def p_sample(self, x_t: np.ndarray, t: StepLike, eps: np.ndarray,
                  rng: Optional[np.random.Generator] = None,
                  deterministic: bool = False) -> np.ndarray:
-        """One reverse step: sample ``x_{t-1}`` given ``x_t`` and the predicted noise."""
+        """One reverse step: sample ``x_{t-1}`` given ``x_t`` and the predicted noise.
+
+        With array-valued ``t`` every sample takes its own reverse step; rows
+        at ``t == 1`` receive the posterior mean without added noise, exactly
+        as in the scalar case.
+        """
         mean = self.posterior_mean_from_eps(x_t, t, eps)
-        if t == 1 or deterministic:
+        t_arr = np.asarray(t)
+        if deterministic or np.all(t_arr == 1):
             return mean
         rng = rng or np.random.default_rng()
         sigma = np.sqrt(self.schedule.posterior_variance(t))
-        return mean + sigma * rng.standard_normal(x_t.shape)
+        noise = rng.standard_normal(x_t.shape)
+        if t_arr.ndim == 0:
+            return mean + sigma * noise
+        keep = (t_arr > 1).astype(np.float64)
+        shape = t_arr.shape + (1,) * (np.ndim(x_t) - 1)
+        return mean + np.reshape(sigma * keep, shape) * noise
 
     def prior_sample(self, shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Sample ``x_T`` from the standard-normal prior."""
@@ -88,6 +126,23 @@ class GaussianDiffusion:
         return rng.standard_normal(shape)
 
     # ------------------------------------------------------------------
-    def _check_step(self, t: int) -> None:
-        if not 1 <= t <= self.num_steps:
+    @staticmethod
+    def _gather(values: np.ndarray, t: StepLike, ndim: int):
+        """Schedule coefficients at step(s) ``t``, broadcastable to the data.
+
+        Scalar ``t`` returns the plain coefficient; a ``(batch,)`` array
+        returns the gathered coefficients reshaped to ``(batch, 1, ..., 1)``
+        so they broadcast against ``(batch, ...)`` data of rank ``ndim``.
+        """
+        t_arr = np.asarray(t)
+        if t_arr.ndim == 0:
+            return values[int(t_arr) - 1]
+        gathered = values[t_arr.astype(np.int64) - 1]
+        return gathered.reshape(t_arr.shape + (1,) * (ndim - 1))
+
+    def _check_step(self, t: StepLike) -> None:
+        t_arr = np.asarray(t)
+        if t_arr.ndim > 1:
+            raise ValueError("step t must be a scalar or a 1-D array of shape (batch,)")
+        if np.any(t_arr < 1) or np.any(t_arr > self.num_steps):
             raise ValueError(f"step {t} outside the valid range 1..{self.num_steps}")

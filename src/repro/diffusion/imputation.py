@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, no_grad
 from ..nn import functional as F
 from .ddpm import GaussianDiffusion
+from .samplers import FullReverseSampler, ReverseSampler
 
 __all__ = ["ImputationResult", "ImputedDiffusion"]
 
@@ -42,14 +43,18 @@ class ImputationResult:
         imputed values.
     intermediate:
         A list of ``(step, windows)`` pairs with the *partially* denoised
-        prediction after each reverse step, ordered from step ``T`` down to 1.
-        These are the signals consumed by the ensemble voting mechanism.
+        prediction after each reverse step, ordered from the noisiest visited
+        step down to 1.  These are the signals consumed by the ensemble
+        voting mechanism.  Under a strided sampler the list holds one entry
+        per *visited* step only — :meth:`steps` always reflects the actual
+        trajectory, never the nominal ``T .. 1`` range.
     """
 
     final: np.ndarray
     intermediate: List[Tuple[int, np.ndarray]]
 
     def steps(self) -> List[int]:
+        """Visited diffusion steps, descending (the sampler's trajectory)."""
         return [step for step, _ in self.intermediate]
 
 
@@ -126,8 +131,13 @@ class ImputedDiffusion:
     # ------------------------------------------------------------------
     def impute(self, windows: np.ndarray, masks: np.ndarray, policies: np.ndarray,
                rng: np.random.Generator, collect: str = "sample",
-               deterministic: bool = False) -> ImputationResult:
-        """Impute the masked region by running the full reverse process.
+               deterministic: bool = False,
+               sampler: Optional[ReverseSampler] = None) -> ImputationResult:
+        """Impute the masked region by running the reverse process.
+
+        The whole pass executes under :class:`repro.nn.no_grad` — imputation
+        is pure inference, so no autograd graph is built for any of the
+        denoiser calls.
 
         Parameters
         ----------
@@ -142,9 +152,15 @@ class ImputedDiffusion:
         deterministic:
             If True, the reverse process uses the posterior mean without
             sampling noise (useful for tests and reproducible examples).
+        sampler:
+            The reverse trajectory to walk; defaults to
+            :class:`~repro.diffusion.FullReverseSampler` (every step ``T..1``,
+            identical to the pre-engine loop).  A strided sampler visits a
+            subsequence, cutting denoiser calls proportionally.
         """
         if collect not in ("sample", "x0"):
             raise ValueError("collect must be 'sample' or 'x0'")
+        sampler = sampler or FullReverseSampler()
         windows = np.asarray(windows, dtype=np.float64)
         masks = np.asarray(masks, dtype=np.float64)
         batch = windows.shape[0]
@@ -155,25 +171,28 @@ class ImputedDiffusion:
 
         x_t = self.diffusion.prior_sample(x0.shape, rng) * target_region
         intermediate: List[Tuple[int, np.ndarray]] = []
+        trajectory = sampler.trajectory(self.diffusion.num_steps)
 
-        for t in range(self.diffusion.num_steps, 0, -1):
-            steps = np.full(batch, t, dtype=np.int64)
-            step_noise = rng.standard_normal(x0.shape)
-            reference = self._reference_channel(x0, observed, step_noise)
-            model_input = self._build_input(x_t * target_region, reference)
-            predicted_eps = self.model(model_input, steps, policies).data
+        with no_grad():
+            for i, t in enumerate(trajectory):
+                t_prev = trajectory[i + 1] if i + 1 < len(trajectory) else 0
+                steps = np.full(batch, t, dtype=np.int64)
+                step_noise = rng.standard_normal(x0.shape)
+                reference = self._reference_channel(x0, observed, step_noise)
+                model_input = self._build_input(x_t * target_region, reference)
+                predicted_eps = self.model(model_input, steps, policies).data
 
-            if collect == "x0":
-                estimate = self.diffusion.predict_x0_from_eps(x_t, t, predicted_eps)
-            x_prev = self.diffusion.p_sample(x_t, t, predicted_eps, rng=rng,
-                                             deterministic=deterministic)
-            x_prev = x_prev * target_region
-            if collect == "sample":
-                estimate = x_prev
+                if collect == "x0":
+                    estimate = self.diffusion.predict_x0_from_eps(x_t, t, predicted_eps)
+                x_prev = sampler.step(self.diffusion, x_t, t, t_prev, predicted_eps,
+                                      rng=rng, deterministic=deterministic)
+                x_prev = x_prev * target_region
+                if collect == "sample":
+                    estimate = x_prev
 
-            merged = estimate * target_region + x0 * observed
-            intermediate.append((t, merged.transpose(0, 2, 1)))
-            x_t = x_prev
+                merged = estimate * target_region + x0 * observed
+                intermediate.append((t, merged.transpose(0, 2, 1)))
+                x_t = x_prev
 
         final = (x_t * target_region + x0 * observed).transpose(0, 2, 1)
         return ImputationResult(final=final, intermediate=intermediate)

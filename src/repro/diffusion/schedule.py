@@ -34,13 +34,24 @@ class NoiseSchedule:
     def num_steps(self) -> int:
         return int(self.betas.shape[0])
 
-    def posterior_variance(self, t: int) -> float:
-        """Variance :math:`\\tilde\\beta_t` of the reverse transition at step ``t`` (1-indexed)."""
-        index = t - 1
-        if t > 1:
-            prev = self.alpha_bars[index - 1]
-            return float((1.0 - prev) / (1.0 - self.alpha_bars[index]) * self.betas[index])
-        return float(self.betas[0])
+    def posterior_variance(self, t):
+        """Variance :math:`\\tilde\\beta_t` of the reverse transition at step ``t`` (1-indexed).
+
+        ``t`` may be a scalar (returns a ``float``, as before) or an integer
+        array of shape ``(batch,)`` (returns a ``(batch,)`` array with the
+        per-sample variances), supporting mixed-timestep batches.
+        """
+        t_arr = np.asarray(t)
+        if t_arr.ndim == 0:
+            index = int(t_arr) - 1
+            if index > 0:
+                prev = self.alpha_bars[index - 1]
+                return float((1.0 - prev) / (1.0 - self.alpha_bars[index]) * self.betas[index])
+            return float(self.betas[0])
+        index = t_arr.astype(np.int64) - 1
+        prev = np.where(index > 0, self.alpha_bars[np.maximum(index - 1, 0)], 1.0)
+        variance = (1.0 - prev) / (1.0 - self.alpha_bars[index]) * self.betas[index]
+        return np.where(index > 0, variance, self.betas[0])
 
     @classmethod
     def from_betas(cls, betas: np.ndarray) -> "NoiseSchedule":

@@ -49,8 +49,14 @@ class DiffusionStepEmbedding(Module):
         self.proj2 = Linear(hidden_dim, hidden_dim, rng=rng)
 
     def forward(self, steps: np.ndarray) -> Tensor:
-        """Embed integer steps of shape ``(batch,)`` into ``(batch, hidden_dim)``."""
-        encoded = sinusoidal_embedding(np.asarray(steps), self.embedding_dim)
+        """Embed integer steps into ``(batch, hidden_dim)``.
+
+        ``steps`` may be a scalar (embedded as a single-row batch) or an
+        array of shape ``(batch,)``; entries are independent, so one call
+        can embed a heterogeneous mix of diffusion timesteps.
+        """
+        steps = np.atleast_1d(np.asarray(steps))
+        encoded = sinusoidal_embedding(steps, self.embedding_dim)
         return self.proj2(self.proj1(Tensor(encoded)).silu()).silu()
 
 

@@ -139,9 +139,13 @@ class ImTransformer(Module):
             noise of the unmasked region for the unconditional model, or the
             clean unmasked values for the conditional model.
         steps:
-            Integer diffusion steps ``t`` of shape ``(batch,)``.
+            Integer diffusion steps ``t`` of shape ``(batch,)``, or a scalar
+            that is broadcast over the batch.  Entries may differ per sample:
+            one denoiser call can serve a heterogeneous micro-batch whose
+            windows sit at different points of the reverse trajectory.
         policies:
-            Integer masking-policy indices ``p`` of shape ``(batch,)``.
+            Integer masking-policy indices ``p`` of shape ``(batch,)``, or a
+            scalar broadcast over the batch.
 
         Returns
         -------
@@ -156,6 +160,16 @@ class ImTransformer(Module):
             raise ValueError(
                 f"model was built for {self.num_features} features, got {num_features}"
             )
+        steps = np.asarray(steps)
+        if steps.ndim == 0:
+            steps = np.full(batch, int(steps), dtype=np.int64)
+        elif steps.shape != (batch,):
+            raise ValueError(f"steps must be a scalar or shape ({batch},), got {steps.shape}")
+        policies = np.asarray(policies)
+        if policies.ndim == 0:
+            policies = np.full(batch, int(policies), dtype=np.int64)
+        elif policies.shape != (batch,):
+            raise ValueError(f"policies must be a scalar or shape ({batch},), got {policies.shape}")
 
         flat = Tensor(x_in.reshape(batch, 2, num_features * window_length))
         hidden = self.input_proj(flat).relu()

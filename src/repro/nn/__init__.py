@@ -7,7 +7,16 @@ layers and the Adam optimizer — entirely on top of NumPy so the repository has
 no binary deep-learning dependency.
 """
 
-from .tensor import Tensor, as_tensor, concat, stack, where
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+    stack,
+    where,
+)
 from . import functional
 from .layers import (
     Conv1d,
@@ -45,6 +54,9 @@ __all__ = [
     "concat",
     "stack",
     "where",
+    "no_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
     "functional",
     "Parameter",
     "Module",

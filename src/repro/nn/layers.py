@@ -70,6 +70,12 @@ class Module:
                         yield f"{full}.{i}", item
                     elif isinstance(item, Module):
                         yield from item.named_parameters(prefix=f"{full}.{i}.")
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{key}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{key}.")
 
     def parameters(self) -> List[Parameter]:
         return [p for _, p in self.named_parameters()]
@@ -84,23 +90,67 @@ class Module:
 
     # -- train / eval switching ----------------------------------------------
     def modules(self) -> Iterator["Module"]:
-        yield self
-        for value in vars(self).values():
-            if isinstance(value, Module):
-                yield from value.modules()
-            elif isinstance(value, (list, tuple)):
-                for item in value:
-                    if isinstance(item, Module):
-                        yield from item.modules()
+        """Yield this module and every sub-module, depth first.
 
-    def train(self) -> "Module":
+        Children are discovered through attributes that are modules or that
+        are lists/tuples/dicts containing modules (matching the containers
+        :meth:`named_parameters` understands).  Shared sub-modules are
+        yielded once.
+        """
+        seen: set = set()
+        stack: List["Module"] = [self]
+        while stack:
+            module = stack.pop()
+            if id(module) in seen:
+                continue
+            seen.add(id(module))
+            yield module
+            for value in vars(module).values():
+                if isinstance(value, Module):
+                    stack.append(value)
+                elif isinstance(value, (list, tuple)):
+                    stack.extend(item for item in value if isinstance(item, Module))
+                elif isinstance(value, dict):
+                    stack.extend(item for item in value.values() if isinstance(item, Module))
+
+    def train(self, mode: bool = True) -> "Module":
+        """Recursively set the training flag on this module and all children.
+
+        The train/eval contract:
+
+        * ``module.train()`` puts *every* module in the tree in training mode
+          (``training=True``): stochastic layers such as :class:`Dropout` are
+          active, and forward passes record autograd graphs as usual.  Any
+          parameter previously frozen by ``eval(inference=True)`` is thawed.
+        * ``module.eval()`` puts every module in the tree in evaluation mode
+          (``training=False``): stochastic layers become deterministic.
+          Gradients are still recorded unless scoring also runs under
+          :class:`repro.nn.no_grad` or ``eval(inference=True)`` is used.
+        * ``module.eval(inference=True)`` additionally marks every parameter
+          in the tree as an inference tensor, so forward passes skip graph
+          construction even outside a ``no_grad`` block.
+
+        Both methods return ``self`` so they can be chained.
+        """
         for m in self.modules():
-            m.training = True
+            m.training = mode
+        if mode:
+            for p in self.parameters():
+                p.inference_(False)
         return self
 
-    def eval(self) -> "Module":
-        for m in self.modules():
-            m.training = False
+    def eval(self, inference: bool = False) -> "Module":
+        """Recursively switch the module tree to evaluation mode.
+
+        With ``inference=True`` every parameter is marked as an inference
+        tensor (see :meth:`Tensor.inference_`), making forward passes
+        graph-free until :meth:`train` is called again.  See :meth:`train`
+        for the full contract.
+        """
+        self.train(mode=False)
+        if inference:
+            for p in self.parameters():
+                p.inference_(True)
         return self
 
     # -- state dict -----------------------------------------------------------

@@ -15,11 +15,61 @@ closure that knows how to push the upstream gradient to its parents, and
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+# ---------------------------------------------------------------------------
+# Global grad mode
+# ---------------------------------------------------------------------------
+_GRAD_ENABLED: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record an autograd graph."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Set the global grad mode; returns the previous mode."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+    return previous
+
+
+class no_grad:
+    """Context manager (and decorator) that disables graph construction.
+
+    Inside a ``with no_grad():`` block every operation skips its backward
+    closure and parent bookkeeping entirely: results are plain *inference
+    tensors* (``requires_grad=False``, :attr:`Tensor.inference` set) that
+    hold only data.  This is the hot-path mode for serving and scoring,
+    where building the reverse graph would waste both time and memory.
+
+    Numerics are unaffected — a forward pass under ``no_grad`` is
+    bit-identical to the grad-enabled pass; only gradient availability
+    changes.  Nesting is supported; the previous mode is restored on exit.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = set_grad_enabled(False)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        set_grad_enabled(self._previous)
+        return False
+
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return func(*args, **kwargs)
+
+        return wrapper
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
@@ -61,9 +111,18 @@ class Tensor:
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream tensor.
+
+    Notes
+    -----
+    A tensor can additionally be placed in *inference mode* (see
+    :meth:`inference_`), either explicitly or by being produced inside a
+    :class:`no_grad` block.  Inference tensors never participate in graph
+    construction: operations that consume them treat them as constants, and
+    calling :meth:`backward` on them raises.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op",
+                 "_inference")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False) -> None:
         self.data: np.ndarray = _as_array(data)
@@ -72,6 +131,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self._op: str = ""
+        self._inference: bool = False
 
     # ------------------------------------------------------------------
     # Basic introspection
@@ -99,6 +159,23 @@ class Tensor:
         """Return a new tensor sharing data but cut from the autograd graph."""
         return Tensor(self.data, requires_grad=False)
 
+    @property
+    def inference(self) -> bool:
+        """Whether this tensor is excluded from graph construction."""
+        return self._inference
+
+    def inference_(self, mode: bool = True) -> "Tensor":
+        """Mark (or unmark) this tensor as an inference tensor, in place.
+
+        An inference tensor behaves like a constant in every operation even
+        when it has ``requires_grad=True`` (e.g. a frozen
+        :class:`~repro.nn.Parameter` during serving): no backward closure is
+        recorded for ops that consume it, so forward passes allocate no graph.
+        Returns ``self`` for chaining.
+        """
+        self._inference = bool(mode)
+        return self
+
     def zero_grad(self) -> None:
         self.grad = None
 
@@ -115,7 +192,11 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
+        if not _GRAD_ENABLED:
+            out = Tensor(data)
+            out._inference = True
+            return out
+        requires = any(p.requires_grad and not p._inference for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._backward = backward
@@ -124,7 +205,7 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        if not self.requires_grad:
+        if not self.requires_grad or self._inference:
             return
         if self.grad is None:
             self.grad = grad.copy()
@@ -139,6 +220,12 @@ class Tensor:
         reverse topological order, so each node's gradient is complete before
         its own backward closure runs.
         """
+        if self._inference:
+            raise RuntimeError(
+                "called backward() on an inference tensor (created under no_grad "
+                "or explicitly marked with inference_()); re-run the forward pass "
+                "with gradients enabled to backpropagate"
+            )
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
         if grad is None:

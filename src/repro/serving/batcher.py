@@ -27,7 +27,10 @@ from .scorer import PendingWindow
 
 __all__ = ["BatchResult", "BatcherStats", "MicroBatcher"]
 
-#: ``score_fn(windows) -> {progress: (batch, window) errors}``
+#: ``score_fn(windows) -> {progress: (batch, window) errors}`` — progress
+#: indexes the *visited* denoising steps of the detector's configured reverse
+#: sampler (1 = noisiest, max = final), so a strided sampler yields fewer,
+#: cheaper entries per flush without any batcher-side changes.
 ScoreFn = Callable[[np.ndarray], Dict[int, np.ndarray]]
 #: ``on_result(request, step_errors)`` with per-window ``{progress: (window,)}``
 ResultFn = Callable[[PendingWindow, Dict[int, np.ndarray]], None]

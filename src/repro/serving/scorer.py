@@ -91,7 +91,10 @@ class IncrementalScorer:
         self.detector = detector
         config = detector.config
         self.window_size = config.window_size
-        self.num_steps = config.num_steps
+        # Width of the per-tenant score cache: one column per *collected*
+        # denoising step.  Under a strided sampler this is the trajectory
+        # length, not the schedule's nominal T.
+        self.num_steps = config.inference_steps
         self.num_features = int(detector.num_features)
         self.history = int(history)
         if self.history < self.window_size:
@@ -100,6 +103,10 @@ class IncrementalScorer:
         if self.raw_capacity < self.window_size:
             raise ValueError("raw_capacity must be at least one window long")
         self._masks = build_masks(config, self.window_size, self.num_features)
+        # Serving is inference-only: flip the shared denoiser to eval mode
+        # once so every batched pass runs with deterministic layers and
+        # (together with the impute-level no_grad) a graph-free hot path.
+        detector._imputer.model.eval()
         self._voter = EnsembleVoter(
             error_percentile=config.error_percentile,
             vote_fraction=config.vote_fraction,
@@ -196,7 +203,9 @@ class IncrementalScorer:
         ``progress -> errors`` with ``errors`` of shape ``(batch, window)``,
         computed exactly as :meth:`ImDiffusionDetector.score` computes them
         for non-overlapping windows (same mask policies, same chunking, same
-        draw order from the generator).
+        draw order from the generator).  The pass inherits the detector's
+        inference engine: grad-free denoiser calls and the configured
+        reverse sampler (``progress`` indexes visited steps, 1 = noisiest).
         """
         detector = self.detector
         config = detector.config

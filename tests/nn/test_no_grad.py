@@ -1,0 +1,226 @@
+"""Grad-mode machinery: no_grad, inference tensors and the train/eval contract."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GRU,
+    LSTM,
+    Conv1d,
+    Dropout,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    TransformerEncoderLayer,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
+
+
+class TestGradMode:
+    def test_default_is_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_disables_and_restores(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():  # nesting
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_no_grad_as_decorator(self):
+        @no_grad()
+        def forward(x):
+            return x * 2
+
+        out = forward(Tensor(np.ones(3), requires_grad=True))
+        assert not out.requires_grad
+        assert out.inference
+
+    def test_set_grad_enabled_returns_previous(self):
+        previous = set_grad_enabled(False)
+        try:
+            assert previous is True
+            assert not is_grad_enabled()
+        finally:
+            set_grad_enabled(True)
+
+    def test_ops_under_no_grad_build_no_graph(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            out = (a * 3 + 1).relu().sum()
+        assert not out.requires_grad
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_backward_on_inference_tensor_raises(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        with no_grad():
+            out = (a * 2).sum()
+        with pytest.raises(RuntimeError, match="inference tensor"):
+            out.backward()
+
+    def test_grad_flow_unaffected_outside_no_grad(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        with no_grad():
+            (a * 2).sum()
+        out = (a * 2).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones(4))
+
+    def test_per_tensor_inference_mode_excludes_from_graph(self):
+        frozen = Tensor(np.ones(3), requires_grad=True).inference_()
+        live = Tensor(np.ones(3), requires_grad=True)
+        out = (frozen * live).sum()
+        out.backward()
+        assert frozen.grad is None
+        np.testing.assert_allclose(live.grad, np.ones(3))
+
+    def test_inference_flag_is_reversible(self):
+        t = Tensor(np.ones(3), requires_grad=True).inference_()
+        assert t.inference
+        t.inference_(False)
+        out = (t * 2).sum()
+        out.backward()
+        np.testing.assert_allclose(t.grad, 2 * np.ones(3))
+
+
+def _forward_twice(module, *args):
+    """Forward with grads enabled, then under no_grad; return both outputs."""
+    with_grad = module(*args)
+    with no_grad():
+        without_grad = module(*args)
+    return with_grad, without_grad
+
+
+class TestNoGradEquivalence:
+    """no_grad forward passes are bit-identical to grad-enabled passes."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_linear(self):
+        layer = Linear(6, 4, rng=self.rng)
+        x = Tensor(self.rng.normal(size=(5, 6)))
+        a, b = _forward_twice(layer, x)
+        assert a.requires_grad and not b.requires_grad
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_conv1d(self):
+        layer = Conv1d(3, 5, kernel_size=3, rng=self.rng)
+        x = Tensor(self.rng.normal(size=(2, 3, 16)))
+        a, b = _forward_twice(layer, x)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_attention(self):
+        layer = TransformerEncoderLayer(8, 2, rng=self.rng)
+        x = Tensor(self.rng.normal(size=(2, 7, 8)))
+        a, b = _forward_twice(layer, x)
+        assert a.requires_grad and not b.requires_grad
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_lstm(self):
+        layer = LSTM(4, 6, rng=self.rng)
+        x = Tensor(self.rng.normal(size=(3, 9, 4)))
+        (a_seq, _), (b_seq, _) = _forward_twice(layer, x)
+        np.testing.assert_array_equal(a_seq.data, b_seq.data)
+
+    def test_gru(self):
+        layer = GRU(4, 6, rng=self.rng)
+        x = Tensor(self.rng.normal(size=(3, 9, 4)))
+        (a_seq, _), (b_seq, _) = _forward_twice(layer, x)
+        np.testing.assert_array_equal(a_seq.data, b_seq.data)
+
+    def test_imtransformer_denoiser(self):
+        from repro.models import ImTransformer
+
+        model = ImTransformer(num_features=3, hidden_dim=8, num_blocks=2,
+                              num_heads=2, rng=self.rng)
+        x = self.rng.normal(size=(2, 2, 3, 12))
+        steps = np.array([1, 5])
+        policies = np.array([0, 1])
+        a = model(x, steps, policies)
+        with no_grad():
+            b = model(x, steps, policies)
+        assert a.requires_grad and not b.requires_grad
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class _Nested(Module):
+    """Module tree with children behind attribute, list and dict containers."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.direct = Linear(2, 2, rng=rng)
+        self.in_list = [Linear(2, 2, rng=rng), Dropout(0.5, rng=rng)]
+        self.in_dict = {"seq": Sequential(Linear(2, 2, rng=rng), Dropout(0.5, rng=rng))}
+
+
+class TestTrainEvalContract:
+    def test_eval_reaches_every_descendant(self):
+        model = _Nested()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_train_accepts_mode_argument(self):
+        model = _Nested()
+        assert model.train(False) is model
+        assert all(not m.training for m in model.modules())
+
+    def test_modules_discovers_dict_children(self):
+        model = _Nested()
+        found = {type(m).__name__ for m in model.modules()}
+        assert {"_Nested", "Linear", "Dropout", "Sequential"} <= found
+
+    def test_named_parameters_discovers_dict_children(self):
+        model = _Nested()
+        names = dict(model.named_parameters())
+        assert any(name.startswith("in_dict.seq.") for name in names)
+
+    def test_shared_submodule_yielded_once(self):
+        shared = Linear(2, 2, rng=np.random.default_rng(0))
+
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        holder = Holder()
+        assert sum(1 for m in holder.modules() if m is shared) == 1
+
+    def test_eval_disables_dropout_everywhere(self):
+        model = _Nested()
+        model.eval()
+        x = Tensor(np.ones((4, 2)))
+        out = model.in_dict["seq"](x)
+        again = model.in_dict["seq"](x)
+        np.testing.assert_array_equal(out.data, again.data)
+
+    def test_eval_inference_freezes_parameters(self):
+        model = _Nested()
+        model.eval(inference=True)
+        assert all(p.inference for p in model.parameters())
+        x = Tensor(np.ones((4, 2)))
+        out = model.direct(x)
+        assert not out.requires_grad  # graph-free without a no_grad block
+
+    def test_train_thaws_inference_parameters(self):
+        model = _Nested()
+        model.eval(inference=True)
+        model.train()
+        assert all(not p.inference for p in model.parameters())
+        out = model.direct(Tensor(np.ones((4, 2))))
+        assert out.requires_grad
