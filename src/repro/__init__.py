@@ -7,6 +7,8 @@ multivariate time-series anomaly detection.  This package provides:
 * :mod:`repro.diffusion`, :mod:`repro.masking`, :mod:`repro.models` — the
   diffusion machinery, masking strategies and the ImTransformer denoiser,
 * :mod:`repro.nn` — a NumPy autograd/neural-network substrate (no PyTorch),
+* :mod:`repro.training` — the shared training engine (Trainer, callbacks,
+  vectorized window loading) used by the detector and all baselines,
 * :mod:`repro.data` — synthetic analogues of the six benchmark datasets and a
   production telemetry simulator,
 * :mod:`repro.baselines` — the ten baseline detectors of the paper,

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.thresholding import apply_threshold, percentile_threshold, pot_threshold
 from ..data.preprocessing import StandardScaler
 from ..data.windows import overlap_average, sliding_windows
+from ..nn import Adam
+from ..training import EarlyStopping, Trainer, TrainResult, WindowLoader
 
 __all__ = ["BaselineResult", "BaseDetector"]
 
@@ -50,14 +52,26 @@ class BaseDetector(ABC):
 
     name: str = "Base"
 
+    #: Whether EarlyStopping may roll the trained parameters back to the best
+    #: epoch.  Adversarial detectors set this False: only the generator runs
+    #: through the Trainer, so restoring it would desynchronise it from the
+    #: discriminator (which keeps stepping inside the loss function).
+    _restore_best_weights: bool = True
+
     def __init__(self, threshold_percentile: float = 97.0, use_pot: bool = False,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0) -> None:
         self.threshold_percentile = threshold_percentile
         self.use_pot = use_pot
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.scaler = StandardScaler()
         self._num_features: Optional[int] = None
+        self.early_stopping_patience = early_stopping_patience
+        self.early_stopping_min_delta = early_stopping_min_delta
+        self.train_losses: List[float] = []
+        self.last_train_result: Optional[TrainResult] = None
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -110,6 +124,45 @@ class BaseDetector(ABC):
                 f"{self.name} was fitted on {self._num_features} features, got {data.shape[1]}"
             )
         return data
+
+    # ------------------------------------------------------------------
+    # Shared training engine hook
+    # ------------------------------------------------------------------
+    def _run_trainer(self, parameters: Sequence, loss_fn: Callable,
+                     arrays: Sequence[np.ndarray], *, epochs: int,
+                     batch_size: int, learning_rate: float,
+                     grad_clip: Optional[float] = 5.0,
+                     optimizer=None, callbacks: Sequence = ()) -> TrainResult:
+        """Train through the shared :class:`repro.training.Trainer`.
+
+        Every baseline funnels its epoch loop through here: ``arrays`` are
+        the aligned sample arrays (windows, or histories + targets) batched
+        by a vectorized :class:`~repro.training.WindowLoader` driven by the
+        detector's own ``rng``, and ``loss_fn(batch, state)`` computes the
+        per-batch loss.  The detector-level ``early_stopping_patience``
+        plugs in an :class:`~repro.training.EarlyStopping` callback; the
+        resulting loss curve lands in ``self.train_losses``.
+        """
+        loader = WindowLoader(*arrays, batch_size=batch_size, rng=self.rng)
+        if optimizer is None:
+            optimizer = Adam(parameters, lr=learning_rate)
+        # Detector-derived callbacks run before caller-supplied ones (the
+        # same order ImDiffusionDetector.fit uses), so a trailing Checkpoint
+        # always snapshots the post-restore weights.
+        engine_callbacks = []
+        if self.early_stopping_patience is not None:
+            engine_callbacks.append(EarlyStopping(
+                patience=self.early_stopping_patience,
+                min_delta=self.early_stopping_min_delta,
+                restore_best=self._restore_best_weights,
+            ))
+        trainer = Trainer(parameters, optimizer, loss_fn, grad_clip=grad_clip,
+                          callbacks=engine_callbacks + list(callbacks),
+                          rng=self.rng)
+        result = trainer.fit(loader, epochs=epochs)
+        self.train_losses = list(result.epoch_losses)
+        self.last_train_result = result
+        return result
 
     # ------------------------------------------------------------------
     # Helpers shared by the window-based baselines

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, MLP, Sequential, Sigmoid, Linear, ReLU, Tensor, clip_grad_norm
+from ..nn import Adam, MLP, Sequential, Sigmoid, Linear, ReLU, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -24,6 +24,9 @@ class BeatGANDetector(BaseDetector):
     """GAN-regularised autoencoder over flattened windows."""
 
     name = "BeatGAN"
+    # The discriminator trains outside the Trainer; rolling back only the
+    # generator would desynchronise the adversarial pair.
+    _restore_best_weights = False
 
     def __init__(self, window_size: int = 32, latent_dim: int = 16, hidden_dim: int = 64,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
@@ -63,35 +66,38 @@ class BeatGANDetector(BaseDetector):
             flat = flat[idx]
 
         generator_params = self._encoder.parameters() + self._decoder.parameters()
-        generator_opt = Adam(generator_params, lr=self.learning_rate)
         discriminator_opt = Adam(self._discriminator.parameters(), lr=self.learning_rate)
 
-        for _ in range(self.epochs):
-            order = self.rng.permutation(flat.shape[0])
-            for start in range(0, flat.shape[0], self.batch_size):
-                batch = Tensor(flat[order[start:start + self.batch_size]])
-                batch_size = batch.shape[0]
+        def adversarial_loss(batch, state):
+            """Discriminator update inline, then the generator loss.
 
-                # --- discriminator step: real vs reconstructed windows ---
-                reconstruction = self._decoder(self._encoder(batch)).detach()
-                discriminator_opt.zero_grad()
-                real_pred = self._discriminator(batch)
-                fake_pred = self._discriminator(reconstruction)
-                d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
-                    F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
-                d_loss.backward()
-                discriminator_opt.step()
+            The shared Trainer owns only the generator optimizer; the
+            discriminator takes its own Adam step here before the generator
+            loss is formed, exactly the alternation of the original loop.
+            """
+            batch_tensor = Tensor(batch.data)
+            batch_size = batch.size
 
-                # --- generator step: reconstruction + fool the discriminator ---
-                generator_opt.zero_grad()
-                reconstruction = self._decoder(self._encoder(batch))
-                recon_loss = F.mse_loss(reconstruction, batch)
-                adv_pred = self._discriminator(reconstruction)
-                adv_loss = F.binary_cross_entropy(adv_pred, Tensor(np.ones((batch_size, 1))))
-                loss = recon_loss + self.adversarial_weight * adv_loss
-                loss.backward()
-                clip_grad_norm(generator_params, 5.0)
-                generator_opt.step()
+            # --- discriminator step: real vs reconstructed windows ---
+            reconstruction = self._decoder(self._encoder(batch_tensor)).detach()
+            discriminator_opt.zero_grad()
+            real_pred = self._discriminator(batch_tensor)
+            fake_pred = self._discriminator(reconstruction)
+            d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
+                F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
+            d_loss.backward()
+            discriminator_opt.step()
+
+            # --- generator loss: reconstruction + fool the discriminator ---
+            reconstruction = self._decoder(self._encoder(batch_tensor))
+            recon_loss = F.mse_loss(reconstruction, batch_tensor)
+            adv_pred = self._discriminator(reconstruction)
+            adv_loss = F.binary_cross_entropy(adv_pred, Tensor(np.ones((batch_size, 1))))
+            return recon_loss + self.adversarial_weight * adv_loss
+
+        self._run_trainer(generator_params, adversarial_loss, (flat,),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         num_features = test.shape[1]

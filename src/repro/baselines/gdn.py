@@ -12,9 +12,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, Linear, MLP, Parameter, Tensor, clip_grad_norm
+from ..nn import Linear, MLP, Parameter, Tensor
 from ..nn import functional as F
 from ..nn import init as nn_init
+from ..training import LambdaCallback
 from .base import BaseDetector
 
 __all__ = ["GDNDetector"]
@@ -107,24 +108,29 @@ class GDNDetector(BaseDetector):
 
         parameters = ([self._sensor_embedding] + self._history_proj.parameters()
                       + self._embedding_proj.parameters() + self._output_head.parameters())
-        optimizer = Adam(parameters, lr=self.learning_rate)
 
         inputs, targets, _ = self._make_samples(train)
         if inputs.shape[0] > self.max_train_samples:
             idx = self.rng.choice(inputs.shape[0], size=self.max_train_samples, replace=False)
             inputs, targets = inputs[idx], targets[idx]
 
-        for _ in range(self.epochs):
-            adjacency = self._learn_graph()
-            order = self.rng.permutation(inputs.shape[0])
-            for start in range(0, inputs.shape[0], self.batch_size):
-                batch_idx = order[start:start + self.batch_size]
-                optimizer.zero_grad()
-                prediction = self._forecast(inputs[batch_idx], adjacency)
-                loss = F.mse_loss(prediction, Tensor(targets[batch_idx]))
-                loss.backward()
-                clip_grad_norm(parameters, 5.0)
-                optimizer.step()
+        # The graph follows the evolving embeddings: rebuilt at every epoch
+        # start (always before the first batch reads it), frozen within the
+        # epoch — the original GDN protocol.
+        graph = {"adjacency": None}
+
+        def rebuild_graph(trainer, state):
+            graph["adjacency"] = self._learn_graph()
+
+        def deviation_loss(batch, state):
+            batch_inputs, batch_targets = batch
+            prediction = self._forecast(batch_inputs, graph["adjacency"])
+            return F.mse_loss(prediction, Tensor(batch_targets))
+
+        self._run_trainer(parameters, deviation_loss, (inputs, targets),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate,
+                          callbacks=[LambdaCallback(on_epoch_start=rebuild_graph)])
 
         # Robust normalisation statistics of the training errors (per sensor).
         self._adjacency = self._learn_graph()

@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, GRU, Linear, MLP, Tensor, clip_grad_norm
+from ..nn import GRU, Linear, MLP, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -101,27 +101,23 @@ class InterFusionDetector(BaseDetector):
         num_features = train.shape[1]
         self._window_size = min(self.window_size, train.shape[0])
         self._build(num_features)
-        optimizer = Adam(self._parameters, lr=self.learning_rate)
 
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
             idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
             windows = windows[idx]
 
-        for _ in range(self.epochs):
-            order = self.rng.permutation(windows.shape[0])
-            for start in range(0, windows.shape[0], self.batch_size):
-                batch = windows[order[start:start + self.batch_size]]
-                optimizer.zero_grad()
-                reconstruction, metric_mu, metric_logvar, temporal_mu, temporal_logvar = \
-                    self._encode_decode(batch, sample=True)
-                loss = F.mse_loss(reconstruction, Tensor(batch)) \
-                    + self.kl_weight * F.kl_divergence_normal(metric_mu.reshape(-1, self.metric_latent_dim),
-                                                              metric_logvar.reshape(-1, self.metric_latent_dim)) \
-                    + self.kl_weight * F.kl_divergence_normal(temporal_mu, temporal_logvar)
-                loss.backward()
-                clip_grad_norm(self._parameters, 5.0)
-                optimizer.step()
+        def hierarchical_elbo(batch, state):
+            reconstruction, metric_mu, metric_logvar, temporal_mu, temporal_logvar = \
+                self._encode_decode(batch.data, sample=True)
+            return F.mse_loss(reconstruction, Tensor(batch.data)) \
+                + self.kl_weight * F.kl_divergence_normal(metric_mu.reshape(-1, self.metric_latent_dim),
+                                                          metric_logvar.reshape(-1, self.metric_latent_dim)) \
+                + self.kl_weight * F.kl_divergence_normal(temporal_mu, temporal_logvar)
+
+        self._run_trainer(self._parameters, hierarchical_elbo, (windows,),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, self._window_size // 2 or 1)

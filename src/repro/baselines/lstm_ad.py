@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, LSTM, Linear, Tensor, clip_grad_norm
+from ..nn import LSTM, Linear, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -55,24 +55,21 @@ class LSTMADDetector(BaseDetector):
                           rng=self.rng)
         self._head = Linear(self.hidden_size, num_features, rng=self.rng)
         parameters = self._lstm.parameters() + self._head.parameters()
-        optimizer = Adam(parameters, lr=self.learning_rate)
 
         inputs, targets, _ = self._make_samples(train)
         if inputs.shape[0] > self.max_train_samples:
             idx = self.rng.choice(inputs.shape[0], size=self.max_train_samples, replace=False)
             inputs, targets = inputs[idx], targets[idx]
 
-        for _ in range(self.epochs):
-            order = self.rng.permutation(inputs.shape[0])
-            for start in range(0, inputs.shape[0], self.batch_size):
-                batch = order[start:start + self.batch_size]
-                optimizer.zero_grad()
-                _, last_hidden = self._lstm(Tensor(inputs[batch]))
-                prediction = self._head(last_hidden)
-                loss = F.mse_loss(prediction, Tensor(targets[batch]))
-                loss.backward()
-                clip_grad_norm(parameters, 5.0)
-                optimizer.step()
+        def forecast_loss(batch, state):
+            batch_inputs, batch_targets = batch
+            _, last_hidden = self._lstm(Tensor(batch_inputs))
+            prediction = self._head(last_hidden)
+            return F.mse_loss(prediction, Tensor(batch_targets))
+
+        self._run_trainer(parameters, forecast_loss, (inputs, targets),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         inputs, targets, positions = self._make_samples(test)

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, LSTM, Linear, Tensor, clip_grad_norm
+from ..nn import Adam, LSTM, Linear, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -24,6 +24,9 @@ class MADGANDetector(BaseDetector):
     """Generative-adversarial anomaly detector with a recurrent generator."""
 
     name = "MAD-GAN"
+    # The discriminator trains outside the Trainer; rolling back only the
+    # generator would desynchronise the adversarial pair.
+    _restore_best_weights = False
 
     def __init__(self, window_size: int = 32, latent_dim: int = 8, hidden_size: int = 32,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
@@ -66,7 +69,6 @@ class MADGANDetector(BaseDetector):
         generator_params = self._generator_lstm.parameters() + self._generator_head.parameters()
         discriminator_params = (self._discriminator_lstm.parameters()
                                 + self._discriminator_head.parameters())
-        generator_opt = Adam(generator_params, lr=self.learning_rate)
         discriminator_opt = Adam(discriminator_params, lr=self.learning_rate)
 
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
@@ -74,32 +76,29 @@ class MADGANDetector(BaseDetector):
             idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
             windows = windows[idx]
 
-        for _ in range(self.epochs):
-            order = self.rng.permutation(windows.shape[0])
-            for start in range(0, windows.shape[0], self.batch_size):
-                real = windows[order[start:start + self.batch_size]]
-                batch_size = real.shape[0]
-                latent = self.rng.standard_normal((batch_size, self._window_size, self.latent_dim))
+        def adversarial_loss(batch, state):
+            # Discriminator update inline; the Trainer steps the generator.
+            real = batch.data
+            batch_size = batch.size
+            latent = self.rng.standard_normal((batch_size, self._window_size, self.latent_dim))
 
-                # --- discriminator update ---
-                fake = self._generate(latent).detach()
-                discriminator_opt.zero_grad()
-                real_pred = self._discriminate(Tensor(real))
-                fake_pred = self._discriminate(fake)
-                d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
-                    F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
-                d_loss.backward()
-                discriminator_opt.step()
+            fake = self._generate(latent).detach()
+            discriminator_opt.zero_grad()
+            real_pred = self._discriminate(Tensor(real))
+            fake_pred = self._discriminate(fake)
+            d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
+                F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
+            d_loss.backward()
+            discriminator_opt.step()
 
-                # --- generator update ---
-                generator_opt.zero_grad()
-                generated = self._generate(latent)
-                g_pred = self._discriminate(generated)
-                g_loss = F.binary_cross_entropy(g_pred, Tensor(np.ones((batch_size, 1)))) + \
-                    0.5 * F.mse_loss(generated, Tensor(real))
-                g_loss.backward()
-                clip_grad_norm(generator_params, 5.0)
-                generator_opt.step()
+            generated = self._generate(latent)
+            g_pred = self._discriminate(generated)
+            return F.binary_cross_entropy(g_pred, Tensor(np.ones((batch_size, 1)))) + \
+                0.5 * F.mse_loss(generated, Tensor(real))
+
+        self._run_trainer(generator_params, adversarial_loss, (windows,),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, self._window_size // 2 or 1)

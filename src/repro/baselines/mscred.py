@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..nn import Adam, MLP, Tensor, clip_grad_norm
+from ..nn import MLP, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -73,16 +73,15 @@ class MSCREDDetector(BaseDetector):
         input_dim = features.shape[1]
         self._autoencoder = MLP([input_dim, self.hidden_dim, self.latent_dim,
                                  self.hidden_dim, input_dim], rng=self.rng)
-        optimizer = Adam(self._autoencoder.parameters(), lr=self.learning_rate)
-        for _ in range(self.epochs):
-            order = self.rng.permutation(features.shape[0])
-            for start in range(0, features.shape[0], self.batch_size):
-                batch = Tensor(features[order[start:start + self.batch_size]])
-                optimizer.zero_grad()
-                loss = F.mse_loss(self._autoencoder(batch), batch)
-                loss.backward()
-                clip_grad_norm(self._autoencoder.parameters(), 5.0)
-                optimizer.step()
+
+        def reconstruction_loss(batch, state):
+            target = Tensor(batch.data)
+            return F.mse_loss(self._autoencoder(target), target)
+
+        self._run_trainer(self._autoencoder.parameters(), reconstruction_loss,
+                          (features,), epochs=self.epochs,
+                          batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, max(self._window_size // 4, 1))

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, GRU, Linear, MLP, MultiHeadSelfAttention, Tensor, clip_grad_norm
+from ..nn import GRU, Linear, MLP, MultiHeadSelfAttention, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -86,7 +86,6 @@ class MTADGATDetector(BaseDetector):
                       + self._input_proj.parameters() + self._time_attention.parameters()
                       + self._gru.parameters() + self._forecast_head.parameters()
                       + self._reconstruction_head.parameters())
-        optimizer = Adam(parameters, lr=self.learning_rate)
 
         # Each sample: a window plus the value right after it (forecast target).
         windows, starts = self._windows(train[:-1], self._window_size, self._window_size // 2 or 1)
@@ -95,22 +94,19 @@ class MTADGATDetector(BaseDetector):
             idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
             windows, targets = windows[idx], targets[idx]
 
-        for _ in range(self.epochs):
-            order = self.rng.permutation(windows.shape[0])
-            for start in range(0, windows.shape[0], self.batch_size):
-                batch_idx = order[start:start + self.batch_size]
-                batch, batch_targets = windows[batch_idx], targets[batch_idx]
-                optimizer.zero_grad()
-                _, last_hidden = self._encode(batch)
-                forecast = self._forecast_head(last_hidden)
-                reconstruction = self._reconstruction_head(last_hidden)
-                forecast_loss = F.mse_loss(forecast, Tensor(batch_targets))
-                reconstruction_loss = F.mse_loss(
-                    reconstruction, Tensor(batch.reshape(batch.shape[0], -1)))
-                loss = self.forecast_weight * forecast_loss + reconstruction_loss
-                loss.backward()
-                clip_grad_norm(parameters, 5.0)
-                optimizer.step()
+        def joint_loss(batch, state):
+            batch_windows, batch_targets = batch
+            _, last_hidden = self._encode(batch_windows)
+            forecast = self._forecast_head(last_hidden)
+            reconstruction = self._reconstruction_head(last_hidden)
+            forecast_loss = F.mse_loss(forecast, Tensor(batch_targets))
+            reconstruction_loss = F.mse_loss(
+                reconstruction, Tensor(batch_windows.reshape(batch_windows.shape[0], -1)))
+            return self.forecast_weight * forecast_loss + reconstruction_loss
+
+        self._run_trainer(parameters, joint_loss, (windows, targets),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         length, num_features = test.shape

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, GRU, Linear, MLP, Tensor, clip_grad_norm
+from ..nn import GRU, Linear, MLP, Tensor
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -57,22 +57,17 @@ class OmniAnomalyDetector(BaseDetector):
 
         parameters = (self._encoder.parameters() + self._mu_head.parameters()
                       + self._logvar_head.parameters() + self._decoder.parameters())
-        optimizer = Adam(parameters, lr=self.learning_rate)
 
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
             idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
             windows = windows[idx]
 
-        for _ in range(self.epochs):
-            order = self.rng.permutation(windows.shape[0])
-            for start in range(0, windows.shape[0], self.batch_size):
-                batch = windows[order[start:start + self.batch_size]]
-                optimizer.zero_grad()
-                loss = self._elbo_loss(batch)
-                loss.backward()
-                clip_grad_norm(parameters, 5.0)
-                optimizer.step()
+        self._run_trainer(parameters,
+                          lambda batch, state: self._elbo_loss(batch.data),
+                          (windows,), epochs=self.epochs,
+                          batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _elbo_loss(self, batch: np.ndarray) -> Tensor:
         _, last_hidden = self._encoder(Tensor(batch))

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, Linear, Tensor, TransformerEncoder, clip_grad_norm
+from ..nn import Linear, Tensor, TransformerEncoder
 from ..nn import functional as F
 from .base import BaseDetector
 
@@ -73,27 +73,23 @@ class TranADDetector(BaseDetector):
         parameters = (self._input_proj.parameters() + self._focus_proj.parameters()
                       + self._encoder.parameters() + self._decoder1.parameters()
                       + self._decoder2.parameters())
-        optimizer = Adam(parameters, lr=self.learning_rate)
 
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
             idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
             windows = windows[idx]
 
-        for epoch in range(self.epochs):
+        def two_phase_loss(batch, state):
             # The adversarial schedule of TranAD: phase-2 weight grows with epochs.
-            phase2_weight = 1.0 - 1.0 / (epoch + 1)
-            order = self.rng.permutation(windows.shape[0])
-            for start in range(0, windows.shape[0], self.batch_size):
-                batch = windows[order[start:start + self.batch_size]]
-                optimizer.zero_grad()
-                phase1, phase2 = self._two_phase(batch)
-                target = Tensor(batch)
-                loss = (1.0 - phase2_weight) * F.mse_loss(phase1, target) \
-                    + phase2_weight * F.mse_loss(phase2, target)
-                loss.backward()
-                clip_grad_norm(parameters, 5.0)
-                optimizer.step()
+            phase2_weight = 1.0 - 1.0 / (state.epoch + 1)
+            phase1, phase2 = self._two_phase(batch.data)
+            target = Tensor(batch.data)
+            return (1.0 - phase2_weight) * F.mse_loss(phase1, target) \
+                + phase2_weight * F.mse_loss(phase2, target)
+
+        self._run_trainer(parameters, two_phase_loss, (windows,),
+                          epochs=self.epochs, batch_size=self.batch_size,
+                          learning_rate=self.learning_rate)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, self._window_size // 2 or 1)

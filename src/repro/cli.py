@@ -1,19 +1,24 @@
 """Command-line interface for the ImDiffusion reproduction.
 
-Four subcommands cover the common workflows without writing any code::
+Five subcommands cover the common workflows without writing any code::
 
     repro detect   --dataset SMD --scale 0.1 --epochs 3
     repro compare  --dataset GCP --detectors ImDiffusion,IForest,LSTM-AD
+    repro train    --dataset GCP --early-stop-patience 3 --registry ./models
     repro datasets
     repro serve    --tenants 4 --samples 384
 
 (``python -m repro.cli`` works identically when the package is not
 installed.)  ``detect`` trains ImDiffusion on one benchmark analogue and
 reports the full metric set; ``compare`` evaluates a comma-separated list of
-detectors on the same dataset; ``datasets`` lists the available dataset
-analogues with their profiles; ``serve`` runs the multi-tenant streaming
-service of :mod:`repro.serving` on simulated microservice latency streams,
-sharing one registry-loaded model across all tenants.
+detectors on the same dataset; ``train`` runs the training engine of
+:mod:`repro.training` (early stopping, LR schedules, resumable checkpoints),
+reports the loss curve and publishes the fitted model to a
+:class:`~repro.serving.ModelRegistry` so ``serve`` can warm-load it;
+``datasets`` lists the available dataset analogues with their profiles;
+``serve`` runs the multi-tenant streaming service of :mod:`repro.serving` on
+simulated microservice latency streams, sharing one registry-loaded model
+across all tenants.
 """
 
 from __future__ import annotations
@@ -55,6 +60,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(compare)
     compare.add_argument("--detectors", default="ImDiffusion,IForest,LSTM-AD",
                          help="comma-separated detector names (ImDiffusion or any baseline)")
+
+    train = subparsers.add_parser(
+        "train", help="train ImDiffusion with the training engine and publish it")
+    _add_dataset_arguments(train)
+    train.add_argument("--window-size", type=int, default=32)
+    train.add_argument("--num-steps", type=int, default=10)
+    train.add_argument("--epochs", type=int, default=5,
+                       help="epoch budget (early stopping may use fewer)")
+    train.add_argument("--hidden-dim", type=int, default=24)
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--early-stop-patience", type=int, default=None,
+                       help="stop after this many non-improving epochs "
+                            "(default: always run the full budget)")
+    train.add_argument("--early-stop-min-delta", type=float, default=0.0,
+                       help="loss decrease that counts as an improvement")
+    train.add_argument("--lr-schedule", choices=("step", "cosine"), default=None,
+                       help="learning-rate schedule (default: constant)")
+    train.add_argument("--lr-warmup-epochs", type=int, default=0,
+                       help="linear warmup epochs of the cosine schedule")
+    train.add_argument("--lr-min", type=float, default=0.0,
+                       help="floor of the cosine schedule")
+    train.add_argument("--checkpoint", default=None,
+                       help="write resumable trainer snapshots to this .npz path")
+    train.add_argument("--checkpoint-every", type=int, default=1,
+                       help="epochs between trainer snapshots")
+    train.add_argument("--registry", default=None,
+                       help="model registry directory the fitted model is "
+                            "published to (default: a temp dir)")
+    train.add_argument("--model-name", default=None,
+                       help="registry name (default: <dataset>-imdiffusion)")
 
     subparsers.add_parser("datasets", help="list the available dataset analogues")
 
@@ -145,6 +181,74 @@ def _run_detect(args: argparse.Namespace) -> int:
     print(f"precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
           f"f1={metrics.f1:.3f} r_auc_pr={metrics.r_auc_pr:.3f} add={metrics.add:.1f}")
     print(f"throughput={result.points_per_second:.1f} points/second")
+    return 0
+
+
+def _format_loss_curve(losses, width: int = 30) -> str:
+    """Render the per-epoch loss curve as an aligned text chart."""
+    if not losses:
+        return "(no epochs ran)"
+    low, high = min(losses), max(losses)
+    span = (high - low) or 1.0
+    lines = []
+    for epoch, loss in enumerate(losses, start=1):
+        bar = "#" * (1 + int((loss - low) / span * (width - 1)))
+        lines.append(f"  epoch {epoch:3d}  loss {loss:.6f}  {bar}")
+    return "\n".join(lines)
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+    from .training import Checkpoint
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    config = ImDiffusionConfig(
+        window_size=args.window_size,
+        num_steps=args.num_steps,
+        epochs=args.epochs,
+        hidden_dim=args.hidden_dim,
+        batch_size=args.batch_size,
+        learning_rate=args.learning_rate,
+        early_stopping_patience=args.early_stop_patience,
+        early_stopping_min_delta=args.early_stop_min_delta,
+        lr_schedule=args.lr_schedule,
+        lr_warmup_epochs=args.lr_warmup_epochs,
+        lr_min=args.lr_min,
+        seed=args.seed,
+    )
+    callbacks = []
+    if args.checkpoint is not None:
+        callbacks.append(Checkpoint(args.checkpoint, every=args.checkpoint_every))
+
+    detector = ImDiffusionDetector(config)
+    print(f"Training ImDiffusion on {dataset.name} "
+          f"(train={dataset.train.shape}, budget={args.epochs} epochs) ...")
+    detector.fit(dataset.train, callbacks=callbacks)
+    result = detector.last_train_result
+
+    print(_format_loss_curve(result.epoch_losses))
+    if result.stopped_early:
+        print(f"Converged after {result.epochs_run}/{args.epochs} epochs "
+              f"({result.stop_reason})")
+    else:
+        print(f"Ran the full budget of {result.epochs_run} epochs")
+    print(f"Training wall-clock: {result.wall_seconds:.2f}s")
+    if args.checkpoint is not None:
+        print(f"Resumable trainer snapshot: {args.checkpoint}")
+
+    registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(registry_dir)
+    model_name = args.model_name or f"{args.dataset}-imdiffusion"
+    registry.save(model_name, detector, metadata={
+        "dataset": dataset.name,
+        "train_epochs": result.epochs_run,
+        "train_seconds": result.wall_seconds,
+        "final_loss": result.final_loss,
+    })
+    print(f"Published {registry.record(model_name).describe()}")
+    print(f"Registry: {registry.root}")
+    print(f"Warm-load it with: repro serve --registry {registry.root} "
+          f"--model-name {model_name} --services {dataset.train.shape[1]}")
     return 0
 
 
@@ -277,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_detect(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "train":
+        return _run_train(args)
     if args.command == "datasets":
         return _run_datasets()
     if args.command == "serve":

@@ -20,6 +20,7 @@ __all__ = ["ImDiffusionConfig"]
 MODELING_MODES = ("imputation", "forecasting", "reconstruction")
 MASKING_STRATEGIES = ("grating", "random")
 CONDITIONING_MODES = ("unconditional", "conditional")
+LR_SCHEDULES = (None, "step", "cosine")
 
 
 @dataclass
@@ -50,6 +51,13 @@ class ImDiffusionConfig:
       implies ``sampler="strided"``; when only the sampler is set, the
       strided trajectory defaults to roughly a quarter of the steps (a ~4x
       scoring speedup).
+    * ``early_stopping_patience`` / ``early_stopping_min_delta`` — training
+      engine: stop after this many non-improving epochs (on the train loss)
+      and restore the best weights; ``None`` always runs ``epochs`` epochs.
+    * ``lr_schedule`` — ``None`` keeps the learning rate constant; ``"step"``
+      decays by ``lr_gamma`` every ``lr_step_size`` epochs; ``"cosine"``
+      anneals from ``learning_rate`` down to ``lr_min`` with
+      ``lr_warmup_epochs`` of linear warmup.
     """
 
     # Windowing / masking
@@ -82,6 +90,13 @@ class ImDiffusionConfig:
     grad_clip: float = 5.0
     max_train_windows: Optional[int] = 64
     train_stride: Optional[int] = None
+    early_stopping_patience: Optional[int] = None
+    early_stopping_min_delta: float = 0.0
+    lr_schedule: Optional[str] = None
+    lr_warmup_epochs: int = 0
+    lr_step_size: int = 10
+    lr_gamma: float = 0.5
+    lr_min: float = 0.0
 
     # Inference engine
     sampler: str = "full"
@@ -116,6 +131,12 @@ class ImDiffusionConfig:
             raise ValueError("error_percentile must be in (0, 100)")
         if self.sampler not in SAMPLER_NAMES:
             raise ValueError(f"sampler must be one of {SAMPLER_NAMES}")
+        if self.lr_schedule not in LR_SCHEDULES:
+            raise ValueError(f"lr_schedule must be one of {LR_SCHEDULES}")
+        if self.early_stopping_patience is not None and self.early_stopping_patience < 1:
+            raise ValueError("early_stopping_patience must be at least 1")
+        if not 0 <= self.lr_warmup_epochs < max(self.epochs, 1):
+            raise ValueError("lr_warmup_epochs must lie in [0, epochs)")
         if self.num_inference_steps is not None:
             if not 2 <= self.num_inference_steps <= self.num_steps:
                 raise ValueError(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,8 @@ from ..data.preprocessing import StandardScaler
 from ..data.windows import sliding_windows
 from ..diffusion import GaussianDiffusion, ImputedDiffusion, make_schedule
 from ..models import ImTransformer
-from ..nn import Adam, clip_grad_norm
+from ..nn import Adam, CosineLR, StepLR
+from ..training import EarlyStopping, LRSchedule, Trainer, WindowLoader
 from .config import ImDiffusionConfig
 from .ensemble import EnsembleDecision, EnsembleVoter
 from .modes import build_masks, recommended_stride
@@ -73,17 +74,28 @@ class ImDiffusionDetector:
         self._imputer: Optional[ImputedDiffusion] = None
         self._num_features: Optional[int] = None
         self.train_losses: List[float] = []
+        self.last_train_result = None  # TrainResult of the most recent fit()
 
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, train: np.ndarray) -> "ImDiffusionDetector":
+    def fit(self, train: np.ndarray, callbacks: Sequence = ()) -> "ImDiffusionDetector":
         """Train the denoiser on a (mostly normal) training series.
+
+        The epoch/batch loop runs through the shared
+        :class:`repro.training.Trainer`; with the default configuration
+        (no early stopping, no LR schedule) it consumes the random stream in
+        exactly the order of the pre-engine hand-rolled loop and therefore
+        produces bit-identical parameters for a fixed seed.
 
         Parameters
         ----------
         train:
             Array of shape ``(time, features)``.
+        callbacks:
+            Extra :class:`repro.training.Callback` instances (e.g. a
+            :class:`~repro.training.Checkpoint`), appended after the
+            config-derived ones.
         """
         config = self.config
         train = np.asarray(train, dtype=np.float64)
@@ -104,26 +116,54 @@ class ImDiffusionDetector:
 
         masks = self._build_network(self._num_features)
         model = self._imputer.model
-
         optimizer = Adam(model.parameters(), lr=config.learning_rate)
-        num_windows = windows.shape[0]
-        self.train_losses = []
-        for _ in range(config.epochs):
-            order = self._rng.permutation(num_windows)
-            epoch_losses = []
-            for start in range(0, num_windows, config.batch_size):
-                batch_idx = order[start:start + config.batch_size]
-                batch = windows[batch_idx]
-                policies = self._rng.integers(0, len(masks), size=batch.shape[0])
-                batch_masks = np.stack([masks[p] for p in policies])
-                optimizer.zero_grad()
-                loss = self._imputer.training_loss(batch, batch_masks, policies, self._rng)
-                loss.backward()
-                clip_grad_norm(model.parameters(), config.grad_clip)
-                optimizer.step()
-                epoch_losses.append(float(loss.data))
-            self.train_losses.append(float(np.mean(epoch_losses)))
+
+        # Mask policies are pre-stacked once so each batch gathers its masks
+        # with a single fancy-index instead of a per-item Python stack.
+        masks_arr = np.stack(masks)
+        num_policies = masks_arr.shape[0]
+
+        def imputation_loss(batch, state):
+            batch_windows = batch.data
+            policies = self._rng.integers(0, num_policies, size=batch_windows.shape[0])
+            batch_masks = masks_arr[policies]
+            return self._imputer.training_loss(batch_windows, batch_masks,
+                                               policies, self._rng)
+
+        loader = WindowLoader(windows, batch_size=config.batch_size, rng=self._rng)
+        trainer = Trainer(
+            model.parameters(), optimizer, imputation_loss,
+            grad_clip=config.grad_clip,
+            callbacks=self._build_callbacks(optimizer) + list(callbacks),
+            rng=self._rng,
+        )
+        result = trainer.fit(loader, epochs=config.epochs)
+        self.train_losses = list(result.epoch_losses)
+        self.last_train_result = result
         return self
+
+    def _build_callbacks(self, optimizer) -> list:
+        """Callbacks implied by the config's training knobs.
+
+        Empty by default, which keeps :meth:`fit` bit-identical to the
+        legacy loop; early stopping and LR schedules opt in explicitly.
+        """
+        config = self.config
+        callbacks = []
+        if config.lr_schedule == "step":
+            callbacks.append(LRSchedule(StepLR(optimizer, config.lr_step_size,
+                                               config.lr_gamma)))
+        elif config.lr_schedule == "cosine":
+            callbacks.append(LRSchedule(CosineLR(
+                optimizer, config.epochs,
+                warmup_epochs=config.lr_warmup_epochs, min_lr=config.lr_min)))
+        if config.early_stopping_patience is not None:
+            callbacks.append(EarlyStopping(
+                patience=config.early_stopping_patience,
+                min_delta=config.early_stopping_min_delta,
+                restore_best=True,
+            ))
+        return callbacks
 
     def _make_schedule(self):
         config = self.config

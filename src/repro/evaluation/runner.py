@@ -9,7 +9,8 @@ detector-agnostic way: anything with ``fit(train)`` and ``predict(test)``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -25,13 +26,21 @@ __all__ = ["RunMetrics", "EvaluationSummary", "evaluate_labels", "evaluate_detec
 
 @dataclass(frozen=True)
 class RunMetrics:
-    """Metrics of one (detector, dataset, seed) run."""
+    """Metrics of one (detector, dataset, seed) run.
+
+    ``train_seconds`` and ``train_epochs`` record the training cost of the
+    run (wall-clock of ``fit`` and epochs actually executed — fewer than the
+    configured budget when early stopping converges sooner); both are 0 for
+    metrics computed from labels alone via :func:`evaluate_labels`.
+    """
 
     precision: float
     recall: float
     f1: float
     r_auc_pr: float
     add: float
+    train_seconds: float = 0.0
+    train_epochs: int = 0
 
 
 @dataclass
@@ -80,6 +89,14 @@ class EvaluationSummary:
     def add_std(self) -> float:
         return self._std("add")
 
+    @property
+    def train_seconds(self) -> float:
+        return self._mean("train_seconds")
+
+    @property
+    def train_epochs(self) -> float:
+        return self._mean("train_epochs")
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "precision": self.precision,
@@ -89,6 +106,8 @@ class EvaluationSummary:
             "r_auc_pr": self.r_auc_pr,
             "add": self.add,
             "add_std": self.add_std,
+            "train_seconds": self.train_seconds,
+            "train_epochs": self.train_epochs,
         }
 
 
@@ -166,10 +185,16 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
     for run in range(num_runs):
         detector = detector_factory(run)
         detector = _apply_engine_overrides(detector, sampler, num_inference_steps)
+        fit_start = time.perf_counter()
         detector.fit(dataset.train)
+        train_seconds = time.perf_counter() - fit_start
         prediction = detector.predict(dataset.test)
         labels, scores = _extract_labels_scores(prediction)
-        summary.runs.append(evaluate_labels(labels, scores, dataset.test_labels, adjust=adjust))
+        metrics = evaluate_labels(labels, scores, dataset.test_labels, adjust=adjust)
+        train_result = getattr(detector, "last_train_result", None)
+        train_epochs = train_result.epochs_run if train_result is not None else 0
+        summary.runs.append(replace(metrics, train_seconds=train_seconds,
+                                    train_epochs=train_epochs))
     return summary
 
 
@@ -186,6 +211,8 @@ def average_summaries(summaries: Sequence[EvaluationSummary],
         "f1_std": float(np.mean([s.f1_std for s in selected])),
         "r_auc_pr": float(np.mean([s.r_auc_pr for s in selected])),
         "add": float(np.mean([s.add for s in selected])),
+        "train_seconds": float(np.mean([s.train_seconds for s in selected])),
+        "train_epochs": float(np.mean([s.train_epochs for s in selected])),
     }
 
 

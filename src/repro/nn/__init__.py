@@ -37,7 +37,7 @@ from .layers import (
 )
 from .attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
 from .recurrent import GRU, GRUCell, LSTM, LSTMCell
-from .optim import Adam, Optimizer, SGD, StepLR, clip_grad_norm
+from .optim import Adam, CosineLR, Optimizer, SGD, StepLR, clip_grad_norm
 from .serialization import (
     load_checkpoint,
     load_checkpoint_metadata,
@@ -84,6 +84,7 @@ __all__ = [
     "SGD",
     "Adam",
     "StepLR",
+    "CosineLR",
     "clip_grad_norm",
     "save_module",
     "load_module",

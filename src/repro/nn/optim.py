@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from .layers import Parameter
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR"]
 
 
 class Optimizer:
@@ -26,6 +26,25 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """The optimizer's full state as ``(scalars, arrays)``.
+
+        ``scalars`` is JSON-serialisable, ``arrays`` maps names to NumPy
+        arrays; together they restore the optimizer bit for bit, which is
+        what makes a mid-run training checkpoint resumable without drift.
+        Per-parameter slots are keyed by *position* in the parameter list, so
+        a restored optimizer must be built over the same architecture.
+        """
+        return {"lr": self.lr}, {}
+
+    def load_state_dict(self, scalars: dict,
+                        arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.lr = float(scalars["lr"])
 
 
 class SGD(Optimizer):
@@ -51,6 +70,23 @@ class SGD(Optimizer):
                 self._velocity[id(p)] = vel
                 grad = vel
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        scalars, arrays = super().state_dict()
+        for index, p in enumerate(self.parameters):
+            vel = self._velocity.get(id(p))
+            if vel is not None:
+                arrays[f"velocity.{index}"] = vel.copy()
+        return scalars, arrays
+
+    def load_state_dict(self, scalars: dict,
+                        arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
+        super().load_state_dict(scalars)
+        self._velocity = {}
+        for index, p in enumerate(self.parameters):
+            vel = (arrays or {}).get(f"velocity.{index}")
+            if vel is not None:
+                self._velocity[id(p)] = np.asarray(vel, dtype=np.float64).copy()
 
 
 class Adam(Optimizer):
@@ -86,6 +122,29 @@ class Adam(Optimizer):
             v_hat = v / (1.0 - self.beta2 ** t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        scalars, arrays = super().state_dict()
+        scalars["step_count"] = self._step_count
+        for index, p in enumerate(self.parameters):
+            m = self._m.get(id(p))
+            if m is not None:
+                arrays[f"m.{index}"] = m.copy()
+                arrays[f"v.{index}"] = self._v[id(p)].copy()
+        return scalars, arrays
+
+    def load_state_dict(self, scalars: dict,
+                        arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
+        super().load_state_dict(scalars)
+        self._step_count = int(scalars.get("step_count", 0))
+        self._m = {}
+        self._v = {}
+        for index, p in enumerate(self.parameters):
+            m = (arrays or {}).get(f"m.{index}")
+            if m is not None:
+                self._m[id(p)] = np.asarray(m, dtype=np.float64).copy()
+                self._v[id(p)] = np.asarray(arrays[f"v.{index}"],
+                                            dtype=np.float64).copy()
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Clip gradients in place so their global L2 norm is at most ``max_norm``.
@@ -114,3 +173,62 @@ class StepLR:
         self._epoch += 1
         if self._epoch % self.step_size == 0:
             self.optimizer.lr *= self.gamma
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch, "lr": self.optimizer.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])
+        self.optimizer.lr = float(state["lr"])
+
+
+class CosineLR:
+    """Cosine-annealed learning rate with an optional linear warmup.
+
+    The schedule is indexed by epoch: during the first ``warmup_epochs``
+    epochs the rate ramps linearly from ``base_lr / warmup_epochs`` up to
+    ``base_lr``, then follows half a cosine down to ``min_lr`` at epoch
+    ``total_epochs - 1``.  Constructing the schedule immediately applies the
+    epoch-0 rate, and each :meth:`step` call advances to the next epoch's
+    rate (call it at the end of every epoch, as
+    :class:`repro.training.LRSchedule` does).
+    """
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 warmup_epochs: int = 0, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be at least 1")
+        if not 0 <= warmup_epochs < total_epochs:
+            raise ValueError("warmup_epochs must lie in [0, total_epochs)")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.optimizer = optimizer
+        self.total_epochs = int(total_epochs)
+        self.warmup_epochs = int(warmup_epochs)
+        self.base_lr = float(optimizer.lr)
+        self.min_lr = float(min_lr)
+        self._epoch = 0
+        self.optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, epoch: int) -> float:
+        """The learning rate the schedule prescribes for ``epoch``."""
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        decay_epochs = self.total_epochs - self.warmup_epochs - 1
+        if decay_epochs <= 0:
+            return self.base_lr if epoch < self.total_epochs else self.min_lr
+        progress = (epoch - self.warmup_epochs) / decay_epochs
+        progress = min(max(progress, 0.0), 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + float(np.cos(np.pi * progress)))
+
+    def step(self) -> None:
+        self._epoch += 1
+        self.optimizer.lr = self.lr_at(min(self._epoch, self.total_epochs - 1))
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch, "lr": self.optimizer.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])
+        self.optimizer.lr = float(state["lr"])

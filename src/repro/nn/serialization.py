@@ -16,6 +16,7 @@ __all__ = [
     "save_state_dict",
     "load_state_dict",
     "save_checkpoint",
+    "atomic_save_checkpoint",
     "load_checkpoint",
     "load_checkpoint_metadata",
 ]
@@ -55,6 +56,21 @@ def save_checkpoint(path: str, arrays: Dict[str, np.ndarray], metadata: dict) ->
     encoded = json.dumps(metadata).encode("utf-8")
     payload[METADATA_KEY] = np.frombuffer(encoded, dtype=np.uint8)
     save_state_dict(payload, path)
+
+
+def atomic_save_checkpoint(path: str, arrays: Dict[str, np.ndarray],
+                           metadata: dict) -> None:
+    """:func:`save_checkpoint` through a temp file + atomic rename.
+
+    A reader never observes a half-written archive: the payload lands in
+    ``<path>.tmp.npz`` first and is moved over ``path`` with ``os.replace``
+    (publishing a new checkpoint is an atomic file swap).  Used by both the
+    serving :class:`~repro.serving.ModelRegistry` and the training
+    :class:`~repro.training.Checkpoint` callback.
+    """
+    tmp_path = path + ".tmp.npz"  # np.savez appends .npz to bare names
+    save_checkpoint(tmp_path, arrays, metadata)
+    os.replace(tmp_path, path)
 
 
 def load_checkpoint(path: str) -> Tuple[Dict[str, np.ndarray], dict]:

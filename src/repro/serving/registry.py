@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core import ImDiffusionDetector
-from ..nn.serialization import load_checkpoint, load_checkpoint_metadata, save_checkpoint
+from ..nn.serialization import (atomic_save_checkpoint, load_checkpoint,
+                                load_checkpoint_metadata)
 
 __all__ = ["ModelRecord", "ModelRegistry"]
 
@@ -74,9 +75,7 @@ class ModelRegistry:
             "created_at": time.time(),
             "extra": metadata or {},
         }
-        tmp_path = path + ".tmp.npz"  # np.savez appends .npz to bare names
-        save_checkpoint(tmp_path, arrays, meta)
-        os.replace(tmp_path, path)
+        atomic_save_checkpoint(path, arrays, meta)
         return path
 
     def load(self, name: str) -> ImDiffusionDetector:

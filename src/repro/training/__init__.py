@@ -1,0 +1,51 @@
+"""Unified training engine: Trainer + callbacks + vectorized window loading.
+
+This package is the third subsystem of the reproduction (after the serving
+layer and the grad-free inference engine): one reusable gradient-descent
+loop for the ImDiffusion denoiser and all nine trainable baselines.
+
+* :class:`WindowLoader` — vectorized shuffled mini-batches over pre-cut
+  window arrays (single fancy-index gather per batch, RNG-identical to the
+  legacy hand-rolled loops),
+* :class:`Trainer` — the epoch/batch loop (loss, backward, gradient clip,
+  optimizer step) with mid-run checkpoint/resume,
+* callbacks — :class:`LossHistory`, :class:`EarlyStopping`,
+  :class:`LRSchedule` (``StepLR``/``CosineLR``), :class:`Checkpoint`,
+  :class:`LambdaCallback`.
+
+Quickstart::
+
+    from repro.nn import Adam
+    from repro.training import EarlyStopping, Trainer, WindowLoader
+
+    loader = WindowLoader(windows, batch_size=16, rng=rng)
+    trainer = Trainer(model.parameters(), Adam(model.parameters(), lr=1e-3),
+                      lambda batch, state: loss_of(batch.data),
+                      grad_clip=5.0, callbacks=[EarlyStopping(patience=3)])
+    result = trainer.fit(loader, epochs=50)
+"""
+
+from .callbacks import (
+    Callback,
+    Checkpoint,
+    EarlyStopping,
+    LambdaCallback,
+    LossHistory,
+    LRSchedule,
+)
+from .loader import Batch, WindowLoader
+from .trainer import Trainer, TrainResult, TrainState
+
+__all__ = [
+    "Batch",
+    "WindowLoader",
+    "Trainer",
+    "TrainResult",
+    "TrainState",
+    "Callback",
+    "LossHistory",
+    "EarlyStopping",
+    "LRSchedule",
+    "Checkpoint",
+    "LambdaCallback",
+]

@@ -98,6 +98,47 @@ class TestDetectorContract:
         normal = scores[labels == 0].mean()
         assert anomalous > normal, f"{name} does not separate an obvious anomaly"
 
+    @pytest.mark.parametrize("name,cls", ALL_BASELINES)
+    def test_trainable_baselines_record_loss_curve(self, name, cls, toy_data):
+        """Every gradient-trained baseline runs through the shared Trainer."""
+        train, _, _ = toy_data
+        detector = make_detector(name).fit(train)
+        if name == "IForest":  # no gradient loop, no loss curve
+            assert detector.last_train_result is None
+            return
+        assert detector.last_train_result is not None
+        assert len(detector.train_losses) == detector.last_train_result.epochs_run
+        assert detector.last_train_result.epochs_run == FAST_OVERRIDES[name]["epochs"]
+        assert all(np.isfinite(loss) for loss in detector.train_losses)
+
+
+class TestBaselineEarlyStopping:
+    def test_early_stopping_shortens_training(self, toy_data):
+        train, test, _ = toy_data
+        detector = make_detector("LSTM-AD")
+        detector.epochs = 10
+        detector.early_stopping_patience = 1
+        detector.early_stopping_min_delta = 1e9  # every epoch counts as a miss
+        detector.fit(train)
+        assert detector.last_train_result.stopped_early
+        assert detector.last_train_result.epochs_run == 2
+        assert np.isfinite(detector.score(test)).all()
+
+    def test_gan_early_stopping_keeps_pair_in_sync(self, toy_data):
+        # Adversarial baselines stop early but never roll back the generator
+        # (the discriminator lives outside the Trainer), so scoring still
+        # uses a generator/discriminator pair from the same epoch.
+        train, test, _ = toy_data
+        detector = make_detector("MAD-GAN")
+        detector.epochs = 6
+        detector.early_stopping_patience = 1
+        detector.early_stopping_min_delta = 1e9
+        detector.fit(train)
+        assert detector.last_train_result.stopped_early
+        assert detector.last_train_result.epochs_run == 2
+        assert not detector._restore_best_weights
+        assert np.isfinite(detector.score(test)).all()
+
 
 class TestIsolationForest:
     def test_deterministic_given_seed(self, toy_data):

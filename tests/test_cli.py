@@ -51,3 +51,67 @@ class TestCommands:
         with pytest.raises(KeyError):
             main(["compare", "--dataset", "GCP", "--scale", "0.07",
                   "--detectors", "NotADetector"])
+
+
+class TestTrainCommand:
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.epochs == 5
+        assert args.early_stop_patience is None
+        assert args.lr_schedule is None
+        assert args.registry is None
+
+    def test_train_publishes_registry_model(self, tmp_path, capsys):
+        registry_dir = str(tmp_path / "registry")
+        checkpoint = str(tmp_path / "trainer.npz")
+        exit_code = main([
+            "train", "--dataset", "GCP", "--scale", "0.07", "--epochs", "2",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+            "--registry", registry_dir, "--model-name", "gcp-cli",
+            "--checkpoint", checkpoint,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "epoch   1" in output and "epoch   2" in output
+        assert "Published gcp-cli" in output
+
+        from repro.nn.serialization import load_checkpoint
+        from repro.serving import ModelRegistry
+
+        registry = ModelRegistry(registry_dir)
+        assert "gcp-cli" in registry
+        detector = registry.load("gcp-cli")
+        assert detector.is_fitted
+        assert len(detector.train_losses) == 2
+        _, metadata = load_checkpoint(checkpoint)
+        assert metadata["epoch"] == 2
+
+    def test_train_early_stopping_and_schedule_flags(self, tmp_path, capsys):
+        exit_code = main([
+            "train", "--dataset", "GCP", "--scale", "0.07", "--epochs", "4",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+            "--early-stop-patience", "1", "--early-stop-min-delta", "1e9",
+            "--lr-schedule", "cosine", "--lr-warmup-epochs", "1",
+            "--registry", str(tmp_path / "registry"),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Converged after 2/4 epochs" in output
+
+    def test_train_serve_round_trip(self, tmp_path, capsys):
+        # The acceptance path: `repro train` publishes a checkpoint that
+        # `repro serve` warm-loads instead of retraining.
+        registry_dir = str(tmp_path / "registry")
+        assert main([
+            "train", "--dataset", "GCP", "--scale", "0.07", "--epochs", "1",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+            "--registry", registry_dir, "--model-name", "shared",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--registry", registry_dir, "--model-name", "shared",
+            "--services", "19", "--tenants", "1", "--samples", "40",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Loading warm model 'shared'" in output
+        assert "Training shared model" not in output

@@ -45,7 +45,10 @@ class TestEndToEndDetection:
             summaries.append(evaluate_detector(factory, dataset, num_runs=1,
                                                detector_name=name))
         averaged = average_summaries(summaries)
-        assert set(averaged) == {"precision", "recall", "f1", "f1_std", "r_auc_pr", "add"}
+        assert set(averaged) == {"precision", "recall", "f1", "f1_std", "r_auc_pr",
+                                 "add", "train_seconds", "train_epochs"}
+        # LSTM-AD trains through the shared engine, so its cost is recorded.
+        assert averaged["train_seconds"] > 0.0
 
     def test_train_stride_increases_training_windows(self):
         dataset = load_dataset("GCP", seed=0, scale=0.08)
