@@ -22,8 +22,15 @@ import numpy as np
 from ..core.thresholding import apply_threshold, percentile_threshold, pot_threshold
 from ..data.preprocessing import StandardScaler
 from ..data.windows import overlap_average, sliding_windows
-from ..nn import Adam
-from ..training import EarlyStopping, Trainer, TrainResult, WindowLoader
+from ..nn import Adam, no_grad
+from ..training import (
+    VALIDATION_SEED_OFFSET,
+    EarlyStopping,
+    Trainer,
+    TrainResult,
+    WindowLoader,
+    split_windows,
+)
 
 __all__ = ["BaselineResult", "BaseDetector"]
 
@@ -48,6 +55,14 @@ class BaseDetector(ABC):
         (OmniAnomaly's protocol).
     seed:
         Seed of the detector's private random generator.
+    early_stopping_patience / early_stopping_min_delta:
+        Stop training after ``patience`` non-improving epochs (``None``
+        disables).  The monitored loss is the held-out validation loss when
+        ``validation_fraction > 0``, the train loss otherwise.
+    validation_fraction:
+        Fraction of the training samples held out of gradient descent and
+        scored grad-free at every epoch end (0 disables; the random stream
+        then matches the legacy loops bit for bit).
     """
 
     name: str = "Base"
@@ -61,7 +76,12 @@ class BaseDetector(ABC):
     def __init__(self, threshold_percentile: float = 97.0, use_pot: bool = False,
                  seed: int = 0,
                  early_stopping_patience: Optional[int] = None,
-                 early_stopping_min_delta: float = 0.0) -> None:
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must lie in [0, 1)")
+        if early_stopping_patience is not None and early_stopping_patience < 1:
+            raise ValueError("early_stopping_patience must be at least 1")
         self.threshold_percentile = threshold_percentile
         self.use_pot = use_pot
         self.seed = seed
@@ -70,7 +90,9 @@ class BaseDetector(ABC):
         self._num_features: Optional[int] = None
         self.early_stopping_patience = early_stopping_patience
         self.early_stopping_min_delta = early_stopping_min_delta
+        self.validation_fraction = validation_fraction
         self.train_losses: List[float] = []
+        self.val_losses: List[float] = []
         self.last_train_result: Optional[TrainResult] = None
 
     # ------------------------------------------------------------------
@@ -132,7 +154,8 @@ class BaseDetector(ABC):
                      arrays: Sequence[np.ndarray], *, epochs: int,
                      batch_size: int, learning_rate: float,
                      grad_clip: Optional[float] = 5.0,
-                     optimizer=None, callbacks: Sequence = ()) -> TrainResult:
+                     optimizer=None, callbacks: Sequence = (),
+                     val_loss_fn: Optional[Callable] = None) -> TrainResult:
         """Train through the shared :class:`repro.training.Trainer`.
 
         Every baseline funnels its epoch loop through here: ``arrays`` are
@@ -142,8 +165,21 @@ class BaseDetector(ABC):
         per-batch loss.  The detector-level ``early_stopping_patience``
         plugs in an :class:`~repro.training.EarlyStopping` callback; the
         resulting loss curve lands in ``self.train_losses``.
+
+        With ``validation_fraction > 0`` the arrays are deterministically
+        split first and the held-out part is scored grad-free at every epoch
+        end (curve in ``self.val_losses``); early stopping then monitors the
+        held-out loss.  ``val_loss_fn`` overrides the loss used for that
+        pass — required whenever ``loss_fn`` has training side effects, like
+        the GAN baselines stepping their discriminator inside the closure.
         """
+        arrays, val_arrays = split_windows(
+            tuple(arrays), self.validation_fraction, self.rng)
         loader = WindowLoader(*arrays, batch_size=batch_size, rng=self.rng)
+        validate_fn = None
+        if val_arrays is not None:
+            validate_fn = self._make_validate_fn(
+                val_arrays, batch_size, val_loss_fn or loss_fn)
         if optimizer is None:
             optimizer = Adam(parameters, lr=learning_rate)
         # Detector-derived callbacks run before caller-supplied ones (the
@@ -158,11 +194,40 @@ class BaseDetector(ABC):
             ))
         trainer = Trainer(parameters, optimizer, loss_fn, grad_clip=grad_clip,
                           callbacks=engine_callbacks + list(callbacks),
-                          rng=self.rng)
+                          rng=self.rng, validate_fn=validate_fn)
         result = trainer.fit(loader, epochs=epochs)
         self.train_losses = list(result.epoch_losses)
+        self.val_losses = list(result.val_losses)
         self.last_train_result = result
         return result
+
+    def _make_validate_fn(self, val_arrays: Sequence[np.ndarray],
+                          batch_size: int, loss_fn: Callable) -> Callable:
+        """Wrap ``loss_fn`` into a grad-free held-out pass over ``val_arrays``.
+
+        The detector's ``rng`` is swapped for a generator re-seeded with
+        ``seed + VALIDATION_SEED_OFFSET`` for the duration of the pass, so
+        stochastic losses (the VAE reparameterisations, the GAN latent
+        draws) see identical randomness at every epoch — comparable values —
+        without consuming the training stream the loss closures share.
+        """
+        val_loader = WindowLoader(*val_arrays, batch_size=batch_size, shuffle=False)
+
+        def validate(trainer, state) -> float:
+            total, count = 0.0, 0
+            train_rng = self.rng
+            self.rng = np.random.default_rng(self.seed + VALIDATION_SEED_OFFSET)
+            try:
+                with no_grad():
+                    for batch in val_loader:
+                        loss = loss_fn(batch, state)
+                        total += float(loss.data) * batch.size
+                        count += batch.size
+            finally:
+                self.rng = train_rng
+            return total / max(count, 1)
+
+        return validate
 
     # ------------------------------------------------------------------
     # Helpers shared by the window-based baselines

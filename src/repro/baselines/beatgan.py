@@ -31,8 +31,14 @@ class BeatGANDetector(BaseDetector):
     def __init__(self, window_size: int = 32, latent_dim: int = 16, hidden_dim: int = 64,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
                  adversarial_weight: float = 0.1, max_train_windows: int = 128,
-                 threshold_percentile: float = 97.0, seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 threshold_percentile: float = 97.0, seed: int = 0,
+                 early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.latent_dim = latent_dim
         self.hidden_dim = hidden_dim
@@ -95,9 +101,22 @@ class BeatGANDetector(BaseDetector):
             adv_loss = F.binary_cross_entropy(adv_pred, Tensor(np.ones((batch_size, 1))))
             return recon_loss + self.adversarial_weight * adv_loss
 
+        def validation_loss(batch, state):
+            # Side-effect-free generator objective for the held-out pass:
+            # same reconstruction + adversarial terms, but the discriminator
+            # is only consulted, never stepped.
+            batch_tensor = Tensor(batch.data)
+            reconstruction = self._decoder(self._encoder(batch_tensor))
+            recon_loss = F.mse_loss(reconstruction, batch_tensor)
+            adv_pred = self._discriminator(reconstruction)
+            adv_loss = F.binary_cross_entropy(
+                adv_pred, Tensor(np.ones((batch.size, 1))))
+            return recon_loss + self.adversarial_weight * adv_loss
+
         self._run_trainer(generator_params, adversarial_loss, (flat,),
                           epochs=self.epochs, batch_size=self.batch_size,
-                          learning_rate=self.learning_rate)
+                          learning_rate=self.learning_rate,
+                          val_loss_fn=validation_loss)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         num_features = test.shape[1]

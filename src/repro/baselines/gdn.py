@@ -29,8 +29,14 @@ class GDNDetector(BaseDetector):
     def __init__(self, history: int = 12, embedding_dim: int = 16, top_k: int = 5,
                  hidden_dim: int = 32, epochs: int = 4, batch_size: int = 32,
                  learning_rate: float = 3e-3, max_train_samples: int = 384,
-                 threshold_percentile: float = 97.0, seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 threshold_percentile: float = 97.0, seed: int = 0,
+                 early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.history = history
         self.embedding_dim = embedding_dim
         self.top_k = top_k

@@ -36,8 +36,14 @@ class InterFusionDetector(BaseDetector):
                  temporal_latent_dim: int = 8, hidden_dim: int = 32,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
                  kl_weight: float = 0.05, max_train_windows: int = 128,
-                 threshold_percentile: float = 97.0, seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 threshold_percentile: float = 97.0, seed: int = 0,
+                 early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.metric_latent_dim = metric_latent_dim
         self.temporal_latent_dim = temporal_latent_dim

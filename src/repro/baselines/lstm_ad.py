@@ -26,8 +26,13 @@ class LSTMADDetector(BaseDetector):
     def __init__(self, history: int = 16, hidden_size: int = 32, num_layers: int = 1,
                  epochs: int = 5, batch_size: int = 32, learning_rate: float = 5e-3,
                  max_train_samples: int = 512, threshold_percentile: float = 97.0,
-                 seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 seed: int = 0, early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.history = history
         self.hidden_size = hidden_size
         self.num_layers = num_layers

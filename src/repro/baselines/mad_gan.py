@@ -32,8 +32,13 @@ class MADGANDetector(BaseDetector):
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
                  num_latent_candidates: int = 8, discriminator_weight: float = 0.3,
                  max_train_windows: int = 128, threshold_percentile: float = 97.0,
-                 seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 seed: int = 0, early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.latent_dim = latent_dim
         self.hidden_size = hidden_size
@@ -96,7 +101,20 @@ class MADGANDetector(BaseDetector):
             return F.binary_cross_entropy(g_pred, Tensor(np.ones((batch_size, 1)))) + \
                 0.5 * F.mse_loss(generated, Tensor(real))
 
+        def validation_loss(batch, state):
+            # Side-effect-free generator objective for the held-out pass: the
+            # discriminator is only consulted, never stepped, and the latent
+            # draw comes from the dedicated validation generator.
+            real = batch.data
+            latent = self.rng.standard_normal(
+                (batch.size, self._window_size, self.latent_dim))
+            generated = self._generate(latent)
+            g_pred = self._discriminate(generated)
+            return F.binary_cross_entropy(g_pred, Tensor(np.ones((batch.size, 1)))) + \
+                0.5 * F.mse_loss(generated, Tensor(real))
+
         self._run_trainer(generator_params, adversarial_loss, (windows,),
+                          val_loss_fn=validation_loss,
                           epochs=self.epochs, batch_size=self.batch_size,
                           learning_rate=self.learning_rate)
 

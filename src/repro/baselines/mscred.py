@@ -34,8 +34,13 @@ class MSCREDDetector(BaseDetector):
                  hidden_dim: int = 64, latent_dim: int = 16,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
                  max_train_windows: int = 96, threshold_percentile: float = 97.0,
-                 seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 seed: int = 0, early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.scales = scales
         self.hidden_dim = hidden_dim

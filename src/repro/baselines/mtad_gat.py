@@ -28,8 +28,14 @@ class MTADGATDetector(BaseDetector):
     def __init__(self, window_size: int = 24, hidden_size: int = 32,
                  epochs: int = 4, batch_size: int = 8, learning_rate: float = 2e-3,
                  forecast_weight: float = 0.5, max_train_windows: int = 96,
-                 threshold_percentile: float = 97.0, seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 threshold_percentile: float = 97.0, seed: int = 0,
+                 early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.hidden_size = hidden_size
         self.epochs = epochs

@@ -28,8 +28,13 @@ class OmniAnomalyDetector(BaseDetector):
     def __init__(self, window_size: int = 32, hidden_size: int = 32, latent_dim: int = 8,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
                  kl_weight: float = 0.05, max_train_windows: int = 128,
-                 seed: int = 0) -> None:
-        super().__init__(use_pot=True, seed=seed)
+                 seed: int = 0, early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(use_pot=True, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.hidden_size = hidden_size
         self.latent_dim = latent_dim

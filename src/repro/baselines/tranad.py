@@ -29,8 +29,13 @@ class TranADDetector(BaseDetector):
                  num_heads: int = 2, epochs: int = 4, batch_size: int = 8,
                  learning_rate: float = 2e-3, blend: float = 0.5,
                  max_train_windows: int = 96, threshold_percentile: float = 97.0,
-                 seed: int = 0) -> None:
-        super().__init__(threshold_percentile=threshold_percentile, seed=seed)
+                 seed: int = 0, early_stopping_patience: Optional[int] = None,
+                 early_stopping_min_delta: float = 0.0,
+                 validation_fraction: float = 0.0) -> None:
+        super().__init__(threshold_percentile=threshold_percentile, seed=seed,
+                         early_stopping_patience=early_stopping_patience,
+                         early_stopping_min_delta=early_stopping_min_delta,
+                         validation_fraction=validation_fraction)
         self.window_size = window_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
@@ -87,9 +92,20 @@ class TranADDetector(BaseDetector):
             return (1.0 - phase2_weight) * F.mse_loss(phase1, target) \
                 + phase2_weight * F.mse_loss(phase2, target)
 
+        def validation_loss(batch, state):
+            # Fixed ``blend`` weighting (the scoring-time combination): the
+            # training schedule's moving phase-2 weight would make the
+            # held-out curve drift epoch over epoch even at constant model
+            # quality, confounding early stopping.
+            phase1, phase2 = self._two_phase(batch.data)
+            target = Tensor(batch.data)
+            return (1.0 - self.blend) * F.mse_loss(phase1, target) \
+                + self.blend * F.mse_loss(phase2, target)
+
         self._run_trainer(parameters, two_phase_loss, (windows,),
                           epochs=self.epochs, batch_size=self.batch_size,
-                          learning_rate=self.learning_rate)
+                          learning_rate=self.learning_rate,
+                          val_loss_fn=validation_loss)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, self._window_size // 2 or 1)

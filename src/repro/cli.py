@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+from dataclasses import asdict
 from typing import List, Optional
 
 import numpy as np
@@ -66,16 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(train)
     train.add_argument("--window-size", type=int, default=32)
     train.add_argument("--num-steps", type=int, default=10)
-    train.add_argument("--epochs", type=int, default=5,
-                       help="epoch budget (early stopping may use fewer)")
+    train.add_argument("--epochs", type=int, default=None,
+                       help="epoch budget; early stopping may use fewer "
+                            "(default: 5, or the snapshot's budget with --resume)")
     train.add_argument("--hidden-dim", type=int, default=24)
     train.add_argument("--batch-size", type=int, default=8)
     train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--validation-fraction", type=float, default=0.0,
+                       help="hold this fraction of the training windows out; "
+                            "the held-out loss is evaluated every epoch and "
+                            "becomes the early-stopping metric (default: 0)")
     train.add_argument("--early-stop-patience", type=int, default=None,
                        help="stop after this many non-improving epochs "
                             "(default: always run the full budget)")
     train.add_argument("--early-stop-min-delta", type=float, default=0.0,
                        help="loss decrease that counts as an improvement")
+    train.add_argument("--resume", default=None, metavar="SNAPSHOT",
+                       help="continue an interrupted run from a --checkpoint "
+                            "snapshot; the run's config and dataset are "
+                            "restored from the snapshot and the continuation "
+                            "is bit-identical to an uninterrupted run")
     train.add_argument("--lr-schedule", choices=("step", "cosine"), default=None,
                        help="learning-rate schedule (default: constant)")
     train.add_argument("--lr-warmup-epochs", type=int, default=0,
@@ -198,52 +209,104 @@ def _format_loss_curve(losses, width: int = 30) -> str:
 
 
 def _run_train(args: argparse.Namespace) -> int:
+    from .nn.serialization import load_checkpoint_metadata
     from .serving import ModelRegistry
     from .training import Checkpoint
 
-    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
-    config = ImDiffusionConfig(
-        window_size=args.window_size,
-        num_steps=args.num_steps,
-        epochs=args.epochs,
-        hidden_dim=args.hidden_dim,
-        batch_size=args.batch_size,
-        learning_rate=args.learning_rate,
-        early_stopping_patience=args.early_stop_patience,
-        early_stopping_min_delta=args.early_stop_min_delta,
-        lr_schedule=args.lr_schedule,
-        lr_warmup_epochs=args.lr_warmup_epochs,
-        lr_min=args.lr_min,
-        seed=args.seed,
-    )
+    if args.resume is not None:
+        # Rebuild the exact run the snapshot came from: config, dataset and
+        # seed all live in the snapshot's cli_run metadata; only --epochs
+        # (budget extension) may be combined with --resume.  Reject any
+        # other training flag instead of silently ignoring it.
+        defaults = build_parser().parse_args(["train"])
+        conflicting = [
+            name for name in (
+                "dataset", "scale", "seed", "window_size", "num_steps",
+                "hidden_dim", "batch_size", "learning_rate",
+                "validation_fraction", "early_stop_patience",
+                "early_stop_min_delta", "lr_schedule", "lr_warmup_epochs",
+                "lr_min",
+            ) if getattr(args, name) != getattr(defaults, name)
+        ]
+        if conflicting:
+            flags = ", ".join("--" + name.replace("_", "-") for name in conflicting)
+            print(f"error: {flags} cannot be combined with --resume; the "
+                  "run's configuration is restored from the snapshot "
+                  "(only --epochs may extend the budget)")
+            return 2
+        run_info = load_checkpoint_metadata(args.resume).get("cli_run")
+        if run_info is None:
+            print(f"error: {args.resume!r} was not written by `repro train` "
+                  "(missing cli_run metadata); cannot rebuild the run")
+            return 2
+        config = ImDiffusionConfig(**run_info["config"])
+        if args.epochs is not None:
+            config = config.with_overrides(epochs=args.epochs)
+        dataset = load_dataset(run_info["dataset"], seed=run_info["seed"],
+                               scale=run_info["scale"])
+        checkpoint_path = args.checkpoint or args.resume
+        print(f"Resuming from {args.resume} "
+              f"(dataset={run_info['dataset']}, budget={config.epochs} epochs)")
+    else:
+        dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+        config = ImDiffusionConfig(
+            window_size=args.window_size,
+            num_steps=args.num_steps,
+            epochs=args.epochs if args.epochs is not None else 5,
+            hidden_dim=args.hidden_dim,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            validation_fraction=args.validation_fraction,
+            early_stopping_patience=args.early_stop_patience,
+            early_stopping_min_delta=args.early_stop_min_delta,
+            lr_schedule=args.lr_schedule,
+            lr_warmup_epochs=args.lr_warmup_epochs,
+            lr_min=args.lr_min,
+            seed=args.seed,
+        )
+        checkpoint_path = args.checkpoint
+
+    if args.resume is not None:
+        cli_run = {"config": asdict(config), "dataset": run_info["dataset"],
+                   "scale": run_info["scale"], "seed": run_info["seed"]}
+    else:
+        cli_run = {"config": asdict(config), "dataset": args.dataset,
+                   "scale": args.scale, "seed": args.seed}
     callbacks = []
-    if args.checkpoint is not None:
-        callbacks.append(Checkpoint(args.checkpoint, every=args.checkpoint_every))
+    if checkpoint_path is not None:
+        callbacks.append(Checkpoint(checkpoint_path, every=args.checkpoint_every,
+                                    extra_metadata={"cli_run": cli_run}))
 
     detector = ImDiffusionDetector(config)
     print(f"Training ImDiffusion on {dataset.name} "
-          f"(train={dataset.train.shape}, budget={args.epochs} epochs) ...")
-    detector.fit(dataset.train, callbacks=callbacks)
+          f"(train={dataset.train.shape}, budget={config.epochs} epochs) ...")
+    detector.fit(dataset.train, callbacks=callbacks, resume_from=args.resume)
     result = detector.last_train_result
 
     print(_format_loss_curve(result.epoch_losses))
+    if result.val_losses:
+        print("Held-out validation loss "
+              f"(fraction {config.validation_fraction:.2f}):")
+        print(_format_loss_curve(result.val_losses))
     if result.stopped_early:
-        print(f"Converged after {result.epochs_run}/{args.epochs} epochs "
+        print(f"Converged after {result.epochs_run}/{config.epochs} epochs "
               f"({result.stop_reason})")
     else:
         print(f"Ran the full budget of {result.epochs_run} epochs")
     print(f"Training wall-clock: {result.wall_seconds:.2f}s")
-    if args.checkpoint is not None:
-        print(f"Resumable trainer snapshot: {args.checkpoint}")
+    if checkpoint_path is not None:
+        print(f"Resumable trainer snapshot: {checkpoint_path}")
+        print(f"Continue with: repro train --resume {checkpoint_path}")
 
     registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
     registry = ModelRegistry(registry_dir)
-    model_name = args.model_name or f"{args.dataset}-imdiffusion"
+    model_name = args.model_name or f"{cli_run['dataset']}-imdiffusion"
     registry.save(model_name, detector, metadata={
         "dataset": dataset.name,
         "train_epochs": result.epochs_run,
         "train_seconds": result.wall_seconds,
         "final_loss": result.final_loss,
+        "final_val_loss": result.final_val_loss,
     })
     print(f"Published {registry.record(model_name).describe()}")
     print(f"Registry: {registry.root}")

@@ -51,9 +51,15 @@ class ImDiffusionConfig:
       implies ``sampler="strided"``; when only the sampler is set, the
       strided trajectory defaults to roughly a quarter of the steps (a ~4x
       scoring speedup).
+    * ``validation_fraction`` — hold this fraction of the training windows
+      out of gradient descent; the held-out denoising loss is evaluated
+      grad-free at every epoch end (with a dedicated generator, so the
+      training random stream is untouched) and becomes the metric early
+      stopping and best snapshots monitor.  0 disables validation.
     * ``early_stopping_patience`` / ``early_stopping_min_delta`` — training
-      engine: stop after this many non-improving epochs (on the train loss)
-      and restore the best weights; ``None`` always runs ``epochs`` epochs.
+      engine: stop after this many non-improving epochs (on the held-out
+      loss when ``validation_fraction > 0``, the train loss otherwise) and
+      restore the best weights; ``None`` always runs ``epochs`` epochs.
     * ``lr_schedule`` — ``None`` keeps the learning rate constant; ``"step"``
       decays by ``lr_gamma`` every ``lr_step_size`` epochs; ``"cosine"``
       anneals from ``learning_rate`` down to ``lr_min`` with
@@ -90,6 +96,7 @@ class ImDiffusionConfig:
     grad_clip: float = 5.0
     max_train_windows: Optional[int] = 64
     train_stride: Optional[int] = None
+    validation_fraction: float = 0.0
     early_stopping_patience: Optional[int] = None
     early_stopping_min_delta: float = 0.0
     lr_schedule: Optional[str] = None
@@ -135,6 +142,8 @@ class ImDiffusionConfig:
             raise ValueError(f"lr_schedule must be one of {LR_SCHEDULES}")
         if self.early_stopping_patience is not None and self.early_stopping_patience < 1:
             raise ValueError("early_stopping_patience must be at least 1")
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must lie in [0, 1)")
         if not 0 <= self.lr_warmup_epochs < max(self.epochs, 1):
             raise ValueError("lr_warmup_epochs must lie in [0, epochs)")
         if self.num_inference_steps is not None:

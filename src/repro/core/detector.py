@@ -16,6 +16,7 @@
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -26,8 +27,16 @@ from ..data.preprocessing import StandardScaler
 from ..data.windows import sliding_windows
 from ..diffusion import GaussianDiffusion, ImputedDiffusion, make_schedule
 from ..models import ImTransformer
-from ..nn import Adam, CosineLR, StepLR
-from ..training import EarlyStopping, LRSchedule, Trainer, WindowLoader
+from ..nn import Adam, CosineLR, StepLR, no_grad
+from ..nn.serialization import load_checkpoint
+from ..training import (
+    VALIDATION_SEED_OFFSET,
+    EarlyStopping,
+    LRSchedule,
+    Trainer,
+    WindowLoader,
+    split_windows,
+)
 from .config import ImDiffusionConfig
 from .ensemble import EnsembleDecision, EnsembleVoter
 from .modes import build_masks, recommended_stride
@@ -74,19 +83,22 @@ class ImDiffusionDetector:
         self._imputer: Optional[ImputedDiffusion] = None
         self._num_features: Optional[int] = None
         self.train_losses: List[float] = []
+        self.val_losses: List[float] = []  # held-out curve (validation_fraction > 0)
         self.last_train_result = None  # TrainResult of the most recent fit()
 
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, train: np.ndarray, callbacks: Sequence = ()) -> "ImDiffusionDetector":
+    def fit(self, train: np.ndarray, callbacks: Sequence = (),
+            resume_from=None) -> "ImDiffusionDetector":
         """Train the denoiser on a (mostly normal) training series.
 
         The epoch/batch loop runs through the shared
         :class:`repro.training.Trainer`; with the default configuration
-        (no early stopping, no LR schedule) it consumes the random stream in
-        exactly the order of the pre-engine hand-rolled loop and therefore
-        produces bit-identical parameters for a fixed seed.
+        (no early stopping, no LR schedule, no validation split) it consumes
+        the random stream in exactly the order of the pre-engine hand-rolled
+        loop and therefore produces bit-identical parameters for a fixed
+        seed.
 
         Parameters
         ----------
@@ -96,6 +108,14 @@ class ImDiffusionDetector:
             Extra :class:`repro.training.Callback` instances (e.g. a
             :class:`~repro.training.Checkpoint`), appended after the
             config-derived ones.
+        resume_from:
+            A trainer snapshot to continue from: a ``.npz`` path written by
+            the :class:`~repro.training.Checkpoint` callback or an already
+            loaded ``(arrays, metadata)`` pair.  The detector must be
+            configured exactly as the run that produced the snapshot (the
+            setup draws replay from the seed, then the snapshot restores
+            parameters, optimizer moments, RNG and callback state), so the
+            continuation is bit-identical to an uninterrupted run.
         """
         config = self.config
         train = np.asarray(train, dtype=np.float64)
@@ -114,6 +134,9 @@ class ImDiffusionDetector:
                                       replace=False)
             windows = windows[chosen]
 
+        (windows,), val_arrays = split_windows(
+            (windows,), config.validation_fraction, self._rng)
+
         masks = self._build_network(self._num_features)
         model = self._imputer.model
         optimizer = Adam(model.parameters(), lr=config.learning_rate)
@@ -130,17 +153,63 @@ class ImDiffusionDetector:
             return self._imputer.training_loss(batch_windows, batch_masks,
                                                policies, self._rng)
 
+        validate_fn = None
+        if val_arrays is not None:
+            validate_fn = self._make_validate_fn(val_arrays[0], masks_arr)
+
         loader = WindowLoader(windows, batch_size=config.batch_size, rng=self._rng)
         trainer = Trainer(
             model.parameters(), optimizer, imputation_loss,
             grad_clip=config.grad_clip,
             callbacks=self._build_callbacks(optimizer) + list(callbacks),
             rng=self._rng,
+            validate_fn=validate_fn,
         )
+        if resume_from is not None:
+            if isinstance(resume_from, (str, os.PathLike)):
+                snapshot_arrays, snapshot_metadata = load_checkpoint(str(resume_from))
+            else:
+                snapshot_arrays, snapshot_metadata = resume_from
+            trainer.load_state_dict(snapshot_arrays, snapshot_metadata)
         result = trainer.fit(loader, epochs=config.epochs)
         self.train_losses = list(result.epoch_losses)
+        self.val_losses = list(result.val_losses)
         self.last_train_result = result
         return self
+
+    def _make_validate_fn(self, val_windows: np.ndarray, masks_arr: np.ndarray):
+        """Held-out denoising loss, evaluated grad-free at each epoch end.
+
+        The pass re-seeds a dedicated generator (``seed +
+        VALIDATION_SEED_OFFSET``) on every call, so each epoch sees identical
+        noise/timestep/policy draws — the curve is comparable across epochs —
+        and the training random stream is never consumed.
+        """
+        config = self.config
+        num_policies = masks_arr.shape[0]
+        val_loader = WindowLoader(val_windows, batch_size=config.batch_size,
+                                  shuffle=False)
+
+        def validate(trainer, state) -> float:
+            model = self._imputer.model
+            was_training = model.training
+            model.eval()
+            rng = np.random.default_rng(config.seed + VALIDATION_SEED_OFFSET)
+            total, count = 0.0, 0
+            try:
+                with no_grad():
+                    for batch in val_loader:
+                        policies = rng.integers(0, num_policies, size=batch.size)
+                        loss = self._imputer.training_loss(
+                            batch.data, masks_arr[policies], policies, rng)
+                        total += float(loss.data) * batch.size
+                        count += batch.size
+            finally:
+                if was_training:
+                    model.train()
+            return total / max(count, 1)
+
+        return validate
 
     def _build_callbacks(self, optimizer) -> list:
         """Callbacks implied by the config's training knobs.
@@ -219,6 +288,7 @@ class ImDiffusionDetector:
             "config": asdict(self.config),
             "num_features": int(self._num_features),
             "train_losses": [float(loss) for loss in self.train_losses],
+            "val_losses": [float(loss) for loss in self.val_losses],
             "rng_state": self._rng.bit_generator.state,
         }
         return arrays, metadata
@@ -243,6 +313,7 @@ class ImDiffusionDetector:
         }
         detector._imputer.model.load_state_dict(state)
         detector.train_losses = [float(loss) for loss in metadata.get("train_losses", [])]
+        detector.val_losses = [float(loss) for loss in metadata.get("val_losses", [])]
         rng_state = metadata.get("rng_state")
         if rng_state is not None:
             detector._rng.bit_generator.state = rng_state

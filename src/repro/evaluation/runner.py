@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,8 @@ class RunMetrics:
     run (wall-clock of ``fit`` and epochs actually executed — fewer than the
     configured budget when early stopping converges sooner); both are 0 for
     metrics computed from labels alone via :func:`evaluate_labels`.
+    ``val_losses`` is the per-epoch held-out validation curve of the run
+    (empty unless the detector trained with ``validation_fraction > 0``).
     """
 
     precision: float
@@ -41,6 +43,11 @@ class RunMetrics:
     add: float
     train_seconds: float = 0.0
     train_epochs: int = 0
+    val_losses: Tuple[float, ...] = ()
+
+    @property
+    def final_val_loss(self) -> float:
+        return self.val_losses[-1] if self.val_losses else float("nan")
 
 
 @dataclass
@@ -193,8 +200,10 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
         metrics = evaluate_labels(labels, scores, dataset.test_labels, adjust=adjust)
         train_result = getattr(detector, "last_train_result", None)
         train_epochs = train_result.epochs_run if train_result is not None else 0
+        val_losses = tuple(getattr(train_result, "val_losses", ()) or ())
         summary.runs.append(replace(metrics, train_seconds=train_seconds,
-                                    train_epochs=train_epochs))
+                                    train_epochs=train_epochs,
+                                    val_losses=val_losses))
     return summary
 
 

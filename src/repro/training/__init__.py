@@ -7,11 +7,15 @@ loop for the ImDiffusion denoiser and all nine trainable baselines.
 * :class:`WindowLoader` — vectorized shuffled mini-batches over pre-cut
   window arrays (single fancy-index gather per batch, RNG-identical to the
   legacy hand-rolled loops),
+* :func:`split_windows` — deterministic held-out validation split over the
+  same aligned arrays (one permutation draw; none at fraction 0),
 * :class:`Trainer` — the epoch/batch loop (loss, backward, gradient clip,
-  optimizer step) with mid-run checkpoint/resume,
+  optimizer step) with per-epoch held-out validation (``validate_fn``) and
+  mid-run checkpoint/resume,
 * callbacks — :class:`LossHistory`, :class:`EarlyStopping`,
   :class:`LRSchedule` (``StepLR``/``CosineLR``), :class:`Checkpoint`,
-  :class:`LambdaCallback`.
+  :class:`LambdaCallback`.  Early stopping and best snapshots both track
+  :func:`monitored_loss` — the held-out loss whenever validation runs.
 
 Quickstart::
 
@@ -32,13 +36,16 @@ from .callbacks import (
     LambdaCallback,
     LossHistory,
     LRSchedule,
+    monitored_loss,
 )
-from .loader import Batch, WindowLoader
+from .loader import VALIDATION_SEED_OFFSET, Batch, WindowLoader, split_windows
 from .trainer import Trainer, TrainResult, TrainState
 
 __all__ = [
     "Batch",
     "WindowLoader",
+    "split_windows",
+    "VALIDATION_SEED_OFFSET",
     "Trainer",
     "TrainResult",
     "TrainState",
@@ -48,4 +55,5 @@ __all__ = [
     "LRSchedule",
     "Checkpoint",
     "LambdaCallback",
+    "monitored_loss",
 ]

@@ -24,14 +24,28 @@ its own checkpoint payload.
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..nn.serialization import atomic_save_checkpoint
 
 __all__ = ["Callback", "LossHistory", "EarlyStopping", "LRSchedule",
-           "Checkpoint", "LambdaCallback"]
+           "Checkpoint", "LambdaCallback", "monitored_loss"]
+
+
+def monitored_loss(state) -> float:
+    """The loss the stopping/best-snapshot logic should track for this epoch.
+
+    The held-out validation loss of the epoch just completed when the trainer
+    ran a ``validate_fn`` (``state.val_losses`` has one entry per finished
+    epoch), the mean training loss otherwise.  Centralised so
+    :class:`EarlyStopping` and :class:`Checkpoint.save_best` can never
+    disagree about which metric "best" means.
+    """
+    if state.val_losses and len(state.val_losses) == state.epoch:
+        return float(state.val_losses[-1])
+    return float(state.epoch_losses[-1])
 
 
 class Callback:
@@ -57,6 +71,15 @@ class Callback:
         return None
 
     def load_state_dict(self, state: dict) -> None:
+        pass
+
+    # Optional *array* persistence: state too large for the JSON metadata
+    # (e.g. EarlyStopping's best-epoch weights) rides in the checkpoint's
+    # array payload instead, namespaced by the trainer per callback index.
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
         pass
 
 
@@ -134,9 +157,10 @@ class EarlyStopping(Callback):
         On train end, copy the parameters of the best epoch back into the
         model (only when a later epoch was worse).
     monitor:
-        ``None`` monitors the mean training loss of the epoch; otherwise a
-        callable ``(trainer, state) -> float`` evaluated at every epoch end
-        — e.g. a closure computing a held-out validation loss.
+        ``None`` monitors :func:`monitored_loss` — the held-out validation
+        loss whenever the trainer evaluates a ``validate_fn``, the mean
+        training loss of the epoch otherwise.  Pass a callable
+        ``(trainer, state) -> float`` to monitor something else entirely.
     """
 
     def __init__(self, patience: int = 3, min_delta: float = 0.0,
@@ -157,7 +181,7 @@ class EarlyStopping(Callback):
         if self.monitor is not None:
             value = float(self.monitor(trainer, state))
         else:
-            value = state.epoch_losses[-1]
+            value = monitored_loss(state)
         if value < self.best_value - self.min_delta:
             self.best_value = value
             self.best_epoch = state.epoch - 1  # epoch just completed
@@ -182,9 +206,6 @@ class EarlyStopping(Callback):
                 p.data = best.copy()
 
     def state_dict(self) -> dict:
-        # Best weights are deliberately not persisted (they can be large);
-        # after a resume the best-so-far snapshot is re-captured on the next
-        # improving epoch.
         return {"best_value": self.best_value, "best_epoch": self.best_epoch,
                 "wait": self.wait}
 
@@ -192,6 +213,23 @@ class EarlyStopping(Callback):
         self.best_value = float(state["best_value"])
         self.best_epoch = state.get("best_epoch")
         self.wait = int(state["wait"])
+
+    # The best-epoch weights ride in the checkpoint's array payload: without
+    # them, a resumed run that never improves again would finish with its
+    # last-epoch weights instead of the best ones.
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        if self._best_params is None:
+            return {}
+        return {f"best.{index}": p for index, p in enumerate(self._best_params)}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        if not arrays:
+            self._best_params = None
+            return
+        self._best_params = [
+            np.asarray(arrays[f"best.{index}"], dtype=np.float64).copy()
+            for index in range(len(arrays))
+        ]
 
 
 class LRSchedule(Callback):
@@ -224,8 +262,15 @@ class Checkpoint(Callback):
     every:
         Snapshot period in epochs.
     save_best:
-        Additionally keep the lowest-epoch-loss snapshot under
-        ``<path stem>.best.npz``.
+        Additionally keep the best-monitored-loss snapshot under
+        ``<path stem>.best.npz``.  "Best" means :func:`monitored_loss`: the
+        held-out validation loss when the trainer evaluates one, the epoch
+        train loss otherwise — always the same metric early stopping tracks.
+    extra_metadata:
+        Extra JSON-serialisable entries merged into every snapshot's
+        metadata (e.g. the CLI records the detector config and dataset so
+        ``repro train --resume`` can rebuild the exact run).  Keys must not
+        collide with the trainer's own state fields.
 
     A snapshot holds the full trainer state — parameters, optimizer slots,
     RNG state, loss history and callback states — so
@@ -233,12 +278,14 @@ class Checkpoint(Callback):
     bit-identical continuation (see ``tests/test_training_engine.py``).
     """
 
-    def __init__(self, path: str, every: int = 1, save_best: bool = False) -> None:
+    def __init__(self, path: str, every: int = 1, save_best: bool = False,
+                 extra_metadata: Optional[dict] = None) -> None:
         if every < 1:
             raise ValueError("every must be at least 1")
         self.path = path
         self.every = every
         self.save_best = save_best
+        self.extra_metadata = dict(extra_metadata or {})
         self.best_value = float("inf")
         self.last_saved_epoch: Optional[int] = None
 
@@ -252,13 +299,21 @@ class Checkpoint(Callback):
 
     def _write(self, payload, path: str) -> None:
         arrays, metadata = payload
+        if self.extra_metadata:
+            collisions = set(self.extra_metadata) & set(metadata)
+            if collisions:
+                raise ValueError(
+                    f"extra_metadata keys collide with trainer state: {sorted(collisions)}"
+                )
+            metadata = {**metadata, **self.extra_metadata}
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         atomic_save_checkpoint(path, arrays, metadata)
 
     def on_epoch_end(self, trainer, state) -> None:
+        monitored = monitored_loss(state)
         periodic = state.epoch % self.every == 0
-        best = self.save_best and state.epoch_losses[-1] < self.best_value
+        best = self.save_best and monitored < self.best_value
         if not (periodic or best):
             return
         payload = trainer.state_dict()  # serialized once for both targets
@@ -266,7 +321,7 @@ class Checkpoint(Callback):
             self._write(payload, self.path)
             self.last_saved_epoch = state.epoch
         if best:
-            self.best_value = state.epoch_losses[-1]
+            self.best_value = monitored
             self._write(payload, self.best_path)
 
     def on_train_end(self, trainer, state) -> None:
@@ -278,7 +333,10 @@ class Checkpoint(Callback):
         self.last_saved_epoch = state.epoch
 
     def state_dict(self) -> dict:
-        return {"best_value": self.best_value}
+        return {"best_value": self.best_value,
+                "last_saved_epoch": self.last_saved_epoch}
 
     def load_state_dict(self, state: dict) -> None:
         self.best_value = float(state["best_value"])
+        saved = state.get("last_saved_epoch")
+        self.last_saved_epoch = int(saved) if saved is not None else None

@@ -17,11 +17,53 @@ random stream bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Batch", "WindowLoader"]
+__all__ = ["Batch", "WindowLoader", "split_windows", "VALIDATION_SEED_OFFSET"]
+
+#: Offset added to a detector's seed to derive the dedicated validation
+#: generator.  Validation always re-seeds with ``seed + offset``, so the
+#: held-out loss uses the same noise at every epoch (values are comparable
+#: across epochs) and never consumes the training random stream.
+VALIDATION_SEED_OFFSET = 7919
+
+
+def split_windows(arrays: Sequence[np.ndarray], validation_fraction: float,
+                  rng: np.random.Generator
+                  ) -> Tuple[Tuple[np.ndarray, ...], Optional[Tuple[np.ndarray, ...]]]:
+    """Deterministically split aligned sample arrays into train/held-out parts.
+
+    Draws exactly one ``rng.permutation`` (and nothing when
+    ``validation_fraction`` is 0, keeping the random stream untouched so a
+    validation-free run stays bit-identical to the legacy loops), assigns the
+    first ``round(n * validation_fraction)`` permuted samples — clamped to
+    ``[1, n - 1]`` — to the held-out side, and returns both sides with their
+    original sample order preserved.
+
+    Returns ``(train_arrays, val_arrays)``; ``val_arrays`` is ``None`` when
+    the fraction is 0 or there are too few samples to hold any out.
+    """
+    if not 0.0 <= validation_fraction < 1.0:
+        raise ValueError("validation_fraction must lie in [0, 1)")
+    arrays = tuple(np.asarray(a) for a in arrays)
+    if not arrays:
+        raise ValueError("split_windows needs at least one array")
+    num = arrays[0].shape[0]
+    for array in arrays[1:]:
+        if array.shape[0] != num:
+            raise ValueError(
+                f"all arrays must share the sample dimension: {num} vs {array.shape[0]}"
+            )
+    if validation_fraction == 0.0 or num < 2:
+        return arrays, None
+    num_val = int(np.clip(round(num * validation_fraction), 1, num - 1))
+    order = rng.permutation(num)
+    val_idx = np.sort(order[:num_val])
+    train_idx = np.sort(order[num_val:])
+    return (tuple(array[train_idx] for array in arrays),
+            tuple(array[val_idx] for array in arrays))
 
 
 @dataclass

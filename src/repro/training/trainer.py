@@ -42,6 +42,7 @@ class TrainState:
     batch: int = 0                 #: batch index within the current epoch
     last_loss: float = float("nan")
     epoch_losses: List[float] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)  #: held-out, per epoch
     batch_losses: List[float] = field(default_factory=list)  #: current epoch
     stop_requested: bool = False
     stop_reason: Optional[str] = None
@@ -56,10 +57,15 @@ class TrainResult:
     stopped_early: bool
     stop_reason: Optional[str]
     wall_seconds: float
+    val_losses: List[float] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def final_val_loss(self) -> float:
+        return self.val_losses[-1] if self.val_losses else float("nan")
 
 
 class Trainer:
@@ -86,13 +92,22 @@ class Trainer:
         The random generator driving the run (loader shuffle + loss
         sampling).  Only needed so checkpoints can capture and restore the
         generator state for bit-identical resumption.
+    validate_fn:
+        ``(trainer, state) -> float`` returning the held-out validation loss,
+        evaluated once at the end of every epoch *before* the
+        ``on_epoch_end`` hooks fire, so callbacks (early stopping, best
+        snapshots) can monitor ``state.val_losses[-1]``.  Implementations
+        should run grad-free (under :class:`repro.nn.no_grad`) and must not
+        consume the trainer's ``rng``, or the validated run's training
+        stream would diverge from an unvalidated one.
     """
 
     def __init__(self, parameters: Sequence, optimizer: Optimizer,
                  loss_fn: Callable[[Batch, TrainState], object],
                  grad_clip: Optional[float] = None,
                  callbacks: Sequence[Callback] = (),
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 validate_fn: Optional[Callable[["Trainer", TrainState], float]] = None) -> None:
         self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("Trainer received an empty parameter list")
@@ -101,6 +116,7 @@ class Trainer:
         self.grad_clip = grad_clip
         self.callbacks = list(callbacks)
         self.rng = rng
+        self.validate_fn = validate_fn
         self.state = TrainState()
 
     # ------------------------------------------------------------------
@@ -138,6 +154,8 @@ class Trainer:
                 self._emit("on_batch_end")
             state.epoch_losses.append(float(np.mean(state.batch_losses)))
             state.epoch += 1
+            if self.validate_fn is not None:
+                state.val_losses.append(float(self.validate_fn(self, state)))
             self._emit("on_epoch_end")
         self._emit("on_train_end")
         return TrainResult(
@@ -146,6 +164,7 @@ class Trainer:
             stopped_early=state.stop_requested,
             stop_reason=state.stop_reason,
             wall_seconds=time.perf_counter() - start_time,
+            val_losses=list(state.val_losses),
         )
 
     # ------------------------------------------------------------------
@@ -166,12 +185,18 @@ class Trainer:
         opt_scalars, opt_arrays = self.optimizer.state_dict()
         for name, value in opt_arrays.items():
             arrays[f"optimizer.{name}"] = value
+        # Callback-owned arrays (e.g. EarlyStopping's best-epoch weights)
+        # travel in the array payload, keyed by the callback's position.
+        for index, callback in enumerate(self.callbacks):
+            for name, value in callback.state_arrays().items():
+                arrays[f"callback.{index}.{name}"] = np.asarray(value).copy()
         state = self.state
         metadata = {
             "format_version": _STATE_FORMAT_VERSION,
             "epoch": state.epoch,
             "step": state.step,
             "epoch_losses": [float(loss) for loss in state.epoch_losses],
+            "val_losses": [float(loss) for loss in state.val_losses],
             "optimizer": opt_scalars,
             "rng_state": (self.rng.bit_generator.state
                           if self.rng is not None else None),
@@ -208,6 +233,7 @@ class Trainer:
         state.epoch = int(metadata["epoch"])
         state.step = int(metadata["step"])
         state.epoch_losses = [float(loss) for loss in metadata["epoch_losses"]]
+        state.val_losses = [float(loss) for loss in metadata.get("val_losses", [])]
         state.stop_requested = False
         state.stop_reason = None
         if metadata.get("rng_state") is not None:
@@ -220,3 +246,9 @@ class Trainer:
         for callback, saved in zip(self.callbacks, saved_callbacks):
             if saved is not None:
                 callback.load_state_dict(saved)
+        for index, callback in enumerate(self.callbacks):
+            prefix = f"callback.{index}."
+            callback.load_state_arrays({
+                name[len(prefix):]: value
+                for name, value in arrays.items() if name.startswith(prefix)
+            })

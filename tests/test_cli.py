@@ -56,10 +56,12 @@ class TestCommands:
 class TestTrainCommand:
     def test_train_defaults(self):
         args = build_parser().parse_args(["train"])
-        assert args.epochs == 5
+        assert args.epochs is None  # 5 unless --resume supplies a budget
         assert args.early_stop_patience is None
         assert args.lr_schedule is None
         assert args.registry is None
+        assert args.validation_fraction == 0.0
+        assert args.resume is None
 
     def test_train_publishes_registry_model(self, tmp_path, capsys):
         registry_dir = str(tmp_path / "registry")
@@ -98,6 +100,22 @@ class TestTrainCommand:
         output = capsys.readouterr().out
         assert "Converged after 2/4 epochs" in output
 
+    def test_train_validation_fraction_flag(self, tmp_path, capsys):
+        exit_code = main([
+            "train", "--dataset", "GCP", "--scale", "0.07", "--epochs", "2",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+            "--validation-fraction", "0.25",
+            "--registry", str(tmp_path / "registry"), "--model-name", "val-run",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Held-out validation loss (fraction 0.25):" in output
+
+        from repro.serving import ModelRegistry
+
+        detector = ModelRegistry(str(tmp_path / "registry")).load("val-run")
+        assert len(detector.val_losses) == 2
+
     def test_train_serve_round_trip(self, tmp_path, capsys):
         # The acceptance path: `repro train` publishes a checkpoint that
         # `repro serve` warm-loads instead of retraining.
@@ -115,3 +133,89 @@ class TestTrainCommand:
         output = capsys.readouterr().out
         assert "Loading warm model 'shared'" in output
         assert "Training shared model" not in output
+
+
+class TestTrainResume:
+    """`repro train --resume` continues an interrupted run bit-identically."""
+
+    _FLAGS = ["--dataset", "GCP", "--scale", "0.07", "--window-size", "24",
+              "--num-steps", "6", "--hidden-dim", "8",
+              "--validation-fraction", "0.25", "--early-stop-patience", "3"]
+
+    def test_resume_round_trip_is_bit_identical(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.serving import ModelRegistry
+
+        # Uninterrupted reference: 3 epochs in one run.
+        assert main(["train", *self._FLAGS, "--epochs", "3",
+                     "--registry", str(tmp_path / "full"),
+                     "--model-name", "full"]) == 0
+
+        # Interrupted run: 2 epochs + snapshot, then resume to the 3-epoch
+        # budget in a second process-equivalent invocation.
+        snapshot = str(tmp_path / "trainer.npz")
+        assert main(["train", *self._FLAGS, "--epochs", "2",
+                     "--checkpoint", snapshot,
+                     "--registry", str(tmp_path / "part"),
+                     "--model-name", "part"]) == 0
+        capsys.readouterr()
+        assert main(["train", "--resume", snapshot, "--epochs", "3",
+                     "--registry", str(tmp_path / "resumed"),
+                     "--model-name", "resumed"]) == 0
+        output = capsys.readouterr().out
+        assert f"Resuming from {snapshot}" in output
+
+        full = ModelRegistry(str(tmp_path / "full")).load("full")
+        resumed = ModelRegistry(str(tmp_path / "resumed")).load("resumed")
+
+        # Bit-identical continuation: parameters, loss curves and the
+        # held-out validation curve all match the uninterrupted run.
+        full_state = full.model.state_dict()
+        resumed_state = resumed.model.state_dict()
+        assert set(full_state) == set(resumed_state)
+        for name in full_state:
+            np.testing.assert_array_equal(full_state[name], resumed_state[name])
+        assert resumed.train_losses == full.train_losses
+        assert resumed.val_losses == full.val_losses
+
+        # And so do the scores the published models produce.
+        from repro.data import load_dataset
+
+        test = load_dataset("GCP", seed=0, scale=0.07).test
+        full_scores = full.score(test)
+        resumed_scores = resumed.score(test)
+        for step in full_scores:
+            np.testing.assert_array_equal(full_scores[step], resumed_scores[step])
+
+    def test_resume_rejects_conflicting_flags(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "trainer.npz")
+        assert main(["train", *self._FLAGS, "--epochs", "1",
+                     "--checkpoint", snapshot,
+                     "--registry", str(tmp_path / "reg")]) == 0
+        capsys.readouterr()
+        # Training flags other than --epochs are restored from the snapshot;
+        # passing them alongside --resume is an error, never a silent no-op.
+        assert main(["train", "--resume", snapshot, "--lr-schedule", "cosine",
+                     "--registry", str(tmp_path / "reg2")]) == 2
+        output = capsys.readouterr().out
+        assert "--lr-schedule" in output and "cannot be combined with --resume" in output
+
+    def test_resume_rejects_snapshot_without_cli_metadata(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro import ImDiffusionConfig, ImDiffusionDetector
+        from repro.training import Checkpoint
+
+        # A raw trainer snapshot (written outside `repro train`) has no
+        # cli_run metadata, so the CLI cannot rebuild the run from it.
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal((80, 3))
+        snapshot = str(tmp_path / "raw.npz")
+        config = ImDiffusionConfig(window_size=16, num_steps=6, epochs=1,
+                                   hidden_dim=8, num_blocks=1,
+                                   max_train_windows=8, train_stride=8)
+        ImDiffusionDetector(config).fit(series, callbacks=[Checkpoint(snapshot)])
+
+        assert main(["train", "--resume", snapshot]) == 2
+        assert "missing cli_run metadata" in capsys.readouterr().out
