@@ -25,7 +25,10 @@ from ..data.windows import overlap_average, sliding_windows
 from ..nn import Adam, no_grad
 from ..training import (
     VALIDATION_SEED_OFFSET,
+    VALIDATION_SPLITS,
     EarlyStopping,
+    MethodLossSpec,
+    ParallelTrainer,
     Trainer,
     TrainResult,
     WindowLoader,
@@ -63,6 +66,16 @@ class BaseDetector(ABC):
         Fraction of the training samples held out of gradient descent and
         scored grad-free at every epoch end (0 disables; the random stream
         then matches the legacy loops bit for bit).
+    validation_split:
+        ``"random"`` (deterministic permutation) or ``"tail"`` (hold out the
+        last samples — closest to production drift monitoring, consumes no
+        randomness).
+    num_workers:
+        Data-parallel training: shard every batch across this many spawned
+        gradient workers and average their gradients before the single
+        optimizer step.  1 (the default) trains in-process.  Only detectors
+        whose loss is spawn-safe (pure, picklable, rng-free) support more
+        than one worker; the others raise at fit time.
     """
 
     name: str = "Base"
@@ -73,15 +86,27 @@ class BaseDetector(ABC):
     #: discriminator (which keeps stepping inside the loss function).
     _restore_best_weights: bool = True
 
+    #: Name of the picklable loss *method* used for data-parallel training.
+    #: ``None`` marks the loss as not spawn-safe (it draws from ``self.rng``,
+    #: steps another model inside the closure, or depends on per-epoch
+    #: structure rebuilds), in which case ``num_workers > 1`` is rejected.
+    _parallel_loss_method: Optional[str] = None
+
     def __init__(self, threshold_percentile: float = 97.0, use_pot: bool = False,
                  seed: int = 0,
                  early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         if not 0.0 <= validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in [0, 1)")
+        if validation_split not in VALIDATION_SPLITS:
+            raise ValueError(f"validation_split must be one of {VALIDATION_SPLITS}")
         if early_stopping_patience is not None and early_stopping_patience < 1:
             raise ValueError("early_stopping_patience must be at least 1")
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
         self.threshold_percentile = threshold_percentile
         self.use_pot = use_pot
         self.seed = seed
@@ -91,6 +116,8 @@ class BaseDetector(ABC):
         self.early_stopping_patience = early_stopping_patience
         self.early_stopping_min_delta = early_stopping_min_delta
         self.validation_fraction = validation_fraction
+        self.validation_split = validation_split
+        self.num_workers = num_workers
         self.train_losses: List[float] = []
         self.val_losses: List[float] = []
         self.last_train_result: Optional[TrainResult] = None
@@ -174,7 +201,8 @@ class BaseDetector(ABC):
         the GAN baselines stepping their discriminator inside the closure.
         """
         arrays, val_arrays = split_windows(
-            tuple(arrays), self.validation_fraction, self.rng)
+            tuple(arrays), self.validation_fraction, self.rng,
+            split=self.validation_split)
         loader = WindowLoader(*arrays, batch_size=batch_size, rng=self.rng)
         validate_fn = None
         if val_arrays is not None:
@@ -192,14 +220,55 @@ class BaseDetector(ABC):
                 min_delta=self.early_stopping_min_delta,
                 restore_best=self._restore_best_weights,
             ))
-        trainer = Trainer(parameters, optimizer, loss_fn, grad_clip=grad_clip,
-                          callbacks=engine_callbacks + list(callbacks),
-                          rng=self.rng, validate_fn=validate_fn)
+        common = dict(grad_clip=grad_clip,
+                      callbacks=engine_callbacks + list(callbacks),
+                      rng=self.rng, validate_fn=validate_fn)
+        if self.num_workers != 1:
+            spec = self._parallel_spec()
+            if spec is None:
+                raise ValueError(
+                    f"{self.name} does not support num_workers > 1: its "
+                    "training loss draws from the detector's rng, steps a "
+                    "second model inside the closure, or rebuilds structure "
+                    "per epoch — data-parallel worker replicas would "
+                    "desynchronise.  Train with num_workers=1."
+                )
+            trainer = ParallelTrainer(parameters, optimizer, spec,
+                                      num_workers=self.num_workers, **common)
+        else:
+            trainer = Trainer(parameters, optimizer, loss_fn, **common)
         result = trainer.fit(loader, epochs=epochs)
         self.train_losses = list(result.epoch_losses)
         self.val_losses = list(result.val_losses)
         self.last_train_result = result
         return result
+
+    def _parallel_spec(self) -> Optional[MethodLossSpec]:
+        """The data-parallel loss spec of this detector, or ``None``.
+
+        Detectors opt in by exposing their loss as a picklable *method*
+        (named by ``_parallel_loss_method``) and implementing
+        :meth:`_trainer_parameters`; the spec then ships the whole detector
+        to each spawned worker once, and every batch is computed shard-wise
+        with shard-size weighting (exact for the per-sample mean losses the
+        baselines use).
+        """
+        if self._parallel_loss_method is None:
+            return None
+        return MethodLossSpec(self, self._parallel_loss_method,
+                              "_trainer_parameters")
+
+    def _trainer_parameters(self) -> List:
+        """The trainable parameters, in the order given to ``_run_trainer``.
+
+        Parallel-capable baselines override this; worker replicas rebuild
+        their parameter list through it, so the order must match the parent's
+        exactly.
+        """
+        raise NotImplementedError(
+            f"{self.name} must implement _trainer_parameters to support "
+            "data-parallel training"
+        )
 
     def _make_validate_fn(self, val_arrays: Sequence[np.ndarray],
                           batch_size: int, loss_fn: Callable) -> Callable:
@@ -232,6 +301,19 @@ class BaseDetector(ABC):
     # ------------------------------------------------------------------
     # Helpers shared by the window-based baselines
     # ------------------------------------------------------------------
+    def _subsample_indices(self, num_samples: int, max_samples: int) -> np.ndarray:
+        """Random subset of sample indices, time-ordered under a tail split.
+
+        Draws exactly one ``rng.choice`` (the legacy subsampling draw).  For
+        random validation splits the subset keeps the drawn (shuffled) order,
+        preserving bit-identity with the legacy loops; a tail split sorts it
+        so "the last samples" are genuinely the most recent ones.
+        """
+        indices = self.rng.choice(num_samples, size=max_samples, replace=False)
+        if self.validation_split == "tail":
+            indices = np.sort(indices)
+        return indices
+
     def _windows(self, series: np.ndarray, window_size: int, stride: int) -> Tuple[np.ndarray, np.ndarray]:
         window_size = min(window_size, series.shape[0])
         return sliding_windows(series, window_size, stride)

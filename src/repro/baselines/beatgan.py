@@ -34,11 +34,15 @@ class BeatGANDetector(BaseDetector):
                  threshold_percentile: float = 97.0, seed: int = 0,
                  early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.window_size = window_size
         self.latent_dim = latent_dim
         self.hidden_dim = hidden_dim
@@ -68,7 +72,7 @@ class BeatGANDetector(BaseDetector):
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         flat = windows.reshape(windows.shape[0], -1)
         if flat.shape[0] > self.max_train_windows:
-            idx = self.rng.choice(flat.shape[0], size=self.max_train_windows, replace=False)
+            idx = self._subsample_indices(flat.shape[0], self.max_train_windows)
             flat = flat[idx]
 
         generator_params = self._encoder.parameters() + self._decoder.parameters()

@@ -32,11 +32,15 @@ class GDNDetector(BaseDetector):
                  threshold_percentile: float = 97.0, seed: int = 0,
                  early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.history = history
         self.embedding_dim = embedding_dim
         self.top_k = top_k
@@ -117,7 +121,7 @@ class GDNDetector(BaseDetector):
 
         inputs, targets, _ = self._make_samples(train)
         if inputs.shape[0] > self.max_train_samples:
-            idx = self.rng.choice(inputs.shape[0], size=self.max_train_samples, replace=False)
+            idx = self._subsample_indices(inputs.shape[0], self.max_train_samples)
             inputs, targets = inputs[idx], targets[idx]
 
         # The graph follows the evolving embeddings: rebuilt at every epoch

@@ -39,11 +39,15 @@ class InterFusionDetector(BaseDetector):
                  threshold_percentile: float = 97.0, seed: int = 0,
                  early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.window_size = window_size
         self.metric_latent_dim = metric_latent_dim
         self.temporal_latent_dim = temporal_latent_dim
@@ -110,7 +114,7 @@ class InterFusionDetector(BaseDetector):
 
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
-            idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
+            idx = self._subsample_indices(windows.shape[0], self.max_train_windows)
             windows = windows[idx]
 
         def hierarchical_elbo(batch, state):

@@ -22,17 +22,22 @@ class LSTMADDetector(BaseDetector):
     """Forecasting-based detector: score = next-step prediction error."""
 
     name = "LSTM-AD"
+    _parallel_loss_method = "_forecast_loss"
 
     def __init__(self, history: int = 16, hidden_size: int = 32, num_layers: int = 1,
                  epochs: int = 5, batch_size: int = 32, learning_rate: float = 5e-3,
                  max_train_samples: int = 512, threshold_percentile: float = 97.0,
                  seed: int = 0, early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.history = history
         self.hidden_size = hidden_size
         self.num_layers = num_layers
@@ -54,25 +59,30 @@ class LSTMADDetector(BaseDetector):
             positions.append(t)
         return np.asarray(inputs), np.asarray(targets), np.asarray(positions)
 
+    def _trainer_parameters(self):
+        return self._lstm.parameters() + self._head.parameters()
+
+    def _forecast_loss(self, batch, state):
+        # A method (not a closure) so data-parallel workers can rebuild it
+        # from a pickled replica of the detector.
+        batch_inputs, batch_targets = batch
+        _, last_hidden = self._lstm(Tensor(batch_inputs))
+        prediction = self._head(last_hidden)
+        return F.mse_loss(prediction, Tensor(batch_targets))
+
     def _fit(self, train: np.ndarray) -> None:
         num_features = train.shape[1]
         self._lstm = LSTM(num_features, self.hidden_size, num_layers=self.num_layers,
                           rng=self.rng)
         self._head = Linear(self.hidden_size, num_features, rng=self.rng)
-        parameters = self._lstm.parameters() + self._head.parameters()
 
         inputs, targets, _ = self._make_samples(train)
         if inputs.shape[0] > self.max_train_samples:
-            idx = self.rng.choice(inputs.shape[0], size=self.max_train_samples, replace=False)
+            idx = self._subsample_indices(inputs.shape[0], self.max_train_samples)
             inputs, targets = inputs[idx], targets[idx]
 
-        def forecast_loss(batch, state):
-            batch_inputs, batch_targets = batch
-            _, last_hidden = self._lstm(Tensor(batch_inputs))
-            prediction = self._head(last_hidden)
-            return F.mse_loss(prediction, Tensor(batch_targets))
-
-        self._run_trainer(parameters, forecast_loss, (inputs, targets),
+        self._run_trainer(self._trainer_parameters(), self._forecast_loss,
+                          (inputs, targets),
                           epochs=self.epochs, batch_size=self.batch_size,
                           learning_rate=self.learning_rate)
 

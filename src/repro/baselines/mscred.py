@@ -29,6 +29,7 @@ class MSCREDDetector(BaseDetector):
     """Signature-matrix reconstruction detector."""
 
     name = "MSCRED"
+    _parallel_loss_method = "_reconstruction_loss"
 
     def __init__(self, window_size: int = 32, scales: Tuple[int, ...] = (8, 16, 32),
                  hidden_dim: int = 64, latent_dim: int = 16,
@@ -36,11 +37,15 @@ class MSCREDDetector(BaseDetector):
                  max_train_windows: int = 96, threshold_percentile: float = 97.0,
                  seed: int = 0, early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.window_size = window_size
         self.scales = scales
         self.hidden_dim = hidden_dim
@@ -72,21 +77,26 @@ class MSCREDDetector(BaseDetector):
         self._effective_scales = tuple(min(s, self._window_size) for s in self.scales)
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
-            idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
+            idx = self._subsample_indices(windows.shape[0], self.max_train_windows)
             windows = windows[idx]
         features = self._features(windows)
         input_dim = features.shape[1]
         self._autoencoder = MLP([input_dim, self.hidden_dim, self.latent_dim,
                                  self.hidden_dim, input_dim], rng=self.rng)
 
-        def reconstruction_loss(batch, state):
-            target = Tensor(batch.data)
-            return F.mse_loss(self._autoencoder(target), target)
-
-        self._run_trainer(self._autoencoder.parameters(), reconstruction_loss,
+        self._run_trainer(self._trainer_parameters(), self._reconstruction_loss,
                           (features,), epochs=self.epochs,
                           batch_size=self.batch_size,
                           learning_rate=self.learning_rate)
+
+    def _trainer_parameters(self):
+        return self._autoencoder.parameters()
+
+    def _reconstruction_loss(self, batch, state):
+        # A method (not a closure) so data-parallel workers can rebuild it
+        # from a pickled replica of the detector.
+        target = Tensor(batch.data)
+        return F.mse_loss(self._autoencoder(target), target)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, max(self._window_size // 4, 1))

@@ -24,6 +24,7 @@ class MTADGATDetector(BaseDetector):
     """Feature- and time-oriented attention with joint forecast + reconstruction."""
 
     name = "MTAD-GAT"
+    _parallel_loss_method = "_joint_loss"
 
     def __init__(self, window_size: int = 24, hidden_size: int = 32,
                  epochs: int = 4, batch_size: int = 8, learning_rate: float = 2e-3,
@@ -31,11 +32,15 @@ class MTADGATDetector(BaseDetector):
                  threshold_percentile: float = 97.0, seed: int = 0,
                  early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.window_size = window_size
         self.hidden_size = hidden_size
         self.epochs = epochs
@@ -88,31 +93,35 @@ class MTADGATDetector(BaseDetector):
         self._reconstruction_head = MLP([hidden, hidden, self._window_size * num_features],
                                         rng=self.rng)
 
-        parameters = (self._feature_proj.parameters() + self._feature_attention.parameters()
-                      + self._input_proj.parameters() + self._time_attention.parameters()
-                      + self._gru.parameters() + self._forecast_head.parameters()
-                      + self._reconstruction_head.parameters())
-
         # Each sample: a window plus the value right after it (forecast target).
         windows, starts = self._windows(train[:-1], self._window_size, self._window_size // 2 or 1)
         targets = np.stack([train[start + self._window_size] for start in starts])
         if windows.shape[0] > self.max_train_windows:
-            idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
+            idx = self._subsample_indices(windows.shape[0], self.max_train_windows)
             windows, targets = windows[idx], targets[idx]
 
-        def joint_loss(batch, state):
-            batch_windows, batch_targets = batch
-            _, last_hidden = self._encode(batch_windows)
-            forecast = self._forecast_head(last_hidden)
-            reconstruction = self._reconstruction_head(last_hidden)
-            forecast_loss = F.mse_loss(forecast, Tensor(batch_targets))
-            reconstruction_loss = F.mse_loss(
-                reconstruction, Tensor(batch_windows.reshape(batch_windows.shape[0], -1)))
-            return self.forecast_weight * forecast_loss + reconstruction_loss
-
-        self._run_trainer(parameters, joint_loss, (windows, targets),
+        self._run_trainer(self._trainer_parameters(), self._joint_loss,
+                          (windows, targets),
                           epochs=self.epochs, batch_size=self.batch_size,
                           learning_rate=self.learning_rate)
+
+    def _trainer_parameters(self):
+        return (self._feature_proj.parameters() + self._feature_attention.parameters()
+                + self._input_proj.parameters() + self._time_attention.parameters()
+                + self._gru.parameters() + self._forecast_head.parameters()
+                + self._reconstruction_head.parameters())
+
+    def _joint_loss(self, batch, state):
+        # A method (not a closure) so data-parallel workers can rebuild it
+        # from a pickled replica of the detector.
+        batch_windows, batch_targets = batch
+        _, last_hidden = self._encode(batch_windows)
+        forecast = self._forecast_head(last_hidden)
+        reconstruction = self._reconstruction_head(last_hidden)
+        forecast_loss = F.mse_loss(forecast, Tensor(batch_targets))
+        reconstruction_loss = F.mse_loss(
+            reconstruction, Tensor(batch_windows.reshape(batch_windows.shape[0], -1)))
+        return self.forecast_weight * forecast_loss + reconstruction_loss
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         length, num_features = test.shape

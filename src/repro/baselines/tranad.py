@@ -24,6 +24,7 @@ class TranADDetector(BaseDetector):
     """Two-phase transformer reconstruction detector."""
 
     name = "TranAD"
+    _parallel_loss_method = "_two_phase_loss"
 
     def __init__(self, window_size: int = 24, hidden_size: int = 32, num_layers: int = 1,
                  num_heads: int = 2, epochs: int = 4, batch_size: int = 8,
@@ -31,11 +32,15 @@ class TranADDetector(BaseDetector):
                  max_train_windows: int = 96, threshold_percentile: float = 97.0,
                  seed: int = 0, early_stopping_patience: Optional[int] = None,
                  early_stopping_min_delta: float = 0.0,
-                 validation_fraction: float = 0.0) -> None:
+                 validation_fraction: float = 0.0,
+                 validation_split: str = "random",
+                 num_workers: int = 1) -> None:
         super().__init__(threshold_percentile=threshold_percentile, seed=seed,
                          early_stopping_patience=early_stopping_patience,
                          early_stopping_min_delta=early_stopping_min_delta,
-                         validation_fraction=validation_fraction)
+                         validation_fraction=validation_fraction,
+                         validation_split=validation_split,
+                         num_workers=num_workers)
         self.window_size = window_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
@@ -75,37 +80,41 @@ class TranADDetector(BaseDetector):
         self._decoder1 = Linear(self.hidden_size, num_features, rng=self.rng)
         self._decoder2 = Linear(self.hidden_size, num_features, rng=self.rng)
 
-        parameters = (self._input_proj.parameters() + self._focus_proj.parameters()
-                      + self._encoder.parameters() + self._decoder1.parameters()
-                      + self._decoder2.parameters())
-
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
-            idx = self.rng.choice(windows.shape[0], size=self.max_train_windows, replace=False)
+            idx = self._subsample_indices(windows.shape[0], self.max_train_windows)
             windows = windows[idx]
 
-        def two_phase_loss(batch, state):
-            # The adversarial schedule of TranAD: phase-2 weight grows with epochs.
-            phase2_weight = 1.0 - 1.0 / (state.epoch + 1)
-            phase1, phase2 = self._two_phase(batch.data)
-            target = Tensor(batch.data)
-            return (1.0 - phase2_weight) * F.mse_loss(phase1, target) \
-                + phase2_weight * F.mse_loss(phase2, target)
-
-        def validation_loss(batch, state):
-            # Fixed ``blend`` weighting (the scoring-time combination): the
-            # training schedule's moving phase-2 weight would make the
-            # held-out curve drift epoch over epoch even at constant model
-            # quality, confounding early stopping.
-            phase1, phase2 = self._two_phase(batch.data)
-            target = Tensor(batch.data)
-            return (1.0 - self.blend) * F.mse_loss(phase1, target) \
-                + self.blend * F.mse_loss(phase2, target)
-
-        self._run_trainer(parameters, two_phase_loss, (windows,),
+        self._run_trainer(self._trainer_parameters(), self._two_phase_loss, (windows,),
                           epochs=self.epochs, batch_size=self.batch_size,
                           learning_rate=self.learning_rate,
-                          val_loss_fn=validation_loss)
+                          val_loss_fn=self._validation_loss)
+
+    def _trainer_parameters(self):
+        return (self._input_proj.parameters() + self._focus_proj.parameters()
+                + self._encoder.parameters() + self._decoder1.parameters()
+                + self._decoder2.parameters())
+
+    def _two_phase_loss(self, batch, state):
+        # A method (not a closure) so data-parallel workers can rebuild it
+        # from a pickled replica of the detector.  The adversarial schedule
+        # of TranAD: phase-2 weight grows with epochs (shipped to workers
+        # through the slim TrainState).
+        phase2_weight = 1.0 - 1.0 / (state.epoch + 1)
+        phase1, phase2 = self._two_phase(batch.data)
+        target = Tensor(batch.data)
+        return (1.0 - phase2_weight) * F.mse_loss(phase1, target) \
+            + phase2_weight * F.mse_loss(phase2, target)
+
+    def _validation_loss(self, batch, state):
+        # Fixed ``blend`` weighting (the scoring-time combination): the
+        # training schedule's moving phase-2 weight would make the
+        # held-out curve drift epoch over epoch even at constant model
+        # quality, confounding early stopping.
+        phase1, phase2 = self._two_phase(batch.data)
+        target = Tensor(batch.data)
+        return (1.0 - self.blend) * F.mse_loss(phase1, target) \
+            + self.blend * F.mse_loss(phase2, target)
 
     def _score(self, test: np.ndarray) -> np.ndarray:
         windows, starts = self._windows(test, self._window_size, self._window_size // 2 or 1)

@@ -24,6 +24,7 @@ across all tenants.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import tempfile
 from dataclasses import asdict
@@ -55,12 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--error-percentile", type=float, default=96.0)
     detect.add_argument("--no-ensemble", action="store_true",
                         help="threshold only the final denoising step")
+    _add_validation_arguments(detect)
+    detect.add_argument("--num-workers", type=int, default=1,
+                        help="data-parallel training: gradient workers per "
+                             "batch (default: 1, in-process)")
     _add_engine_arguments(detect)
 
     compare = subparsers.add_parser("compare", help="compare several detectors on one dataset")
     _add_dataset_arguments(compare)
     compare.add_argument("--detectors", default="ImDiffusion,IForest,LSTM-AD",
                          help="comma-separated detector names (ImDiffusion or any baseline)")
+    _add_validation_arguments(compare)
 
     train = subparsers.add_parser(
         "train", help="train ImDiffusion with the training engine and publish it")
@@ -73,10 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hidden-dim", type=int, default=24)
     train.add_argument("--batch-size", type=int, default=8)
     train.add_argument("--learning-rate", type=float, default=1e-3)
-    train.add_argument("--validation-fraction", type=float, default=0.0,
-                       help="hold this fraction of the training windows out; "
-                            "the held-out loss is evaluated every epoch and "
-                            "becomes the early-stopping metric (default: 0)")
+    _add_validation_arguments(train)
+    train.add_argument("--num-workers", type=int, default=None,
+                       help="data-parallel training: shard each batch across "
+                            "this many spawned gradient workers (default: 1, "
+                            "in-process; the random stream is identical for "
+                            "every worker count, so it may also be passed "
+                            "when resuming a snapshot — each resume picks "
+                            "its own count)")
     train.add_argument("--early-stop-patience", type=int, default=None,
                        help="stop after this many non-improving epochs "
                             "(default: always run the full budget)")
@@ -172,6 +182,20 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_validation_arguments(parser: argparse.ArgumentParser) -> None:
+    """Held-out validation knobs shared by detect, compare and train."""
+    parser.add_argument("--validation-fraction", type=float, default=0.0,
+                        help="hold this fraction of the training windows out "
+                             "of gradient descent; the held-out loss is "
+                             "evaluated every epoch and becomes the "
+                             "early-stopping metric (default: 0, disabled)")
+    parser.add_argument("--validation-split", choices=("random", "tail"),
+                        default="random",
+                        help="how held-out windows are chosen: 'random' "
+                             "permutation or the 'tail' of the series "
+                             "(production-style drift monitoring)")
+
+
 def _run_detect(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     config = ImDiffusionConfig(
@@ -181,6 +205,9 @@ def _run_detect(args: argparse.Namespace) -> int:
         hidden_dim=args.hidden_dim,
         error_percentile=args.error_percentile,
         ensemble=not args.no_ensemble,
+        validation_fraction=args.validation_fraction,
+        validation_split=args.validation_split,
+        num_workers=args.num_workers,
         seed=args.seed,
         **_engine_overrides(args),
     )
@@ -223,7 +250,8 @@ def _run_train(args: argparse.Namespace) -> int:
             name for name in (
                 "dataset", "scale", "seed", "window_size", "num_steps",
                 "hidden_dim", "batch_size", "learning_rate",
-                "validation_fraction", "early_stop_patience",
+                "validation_fraction", "validation_split",
+                "early_stop_patience",
                 "early_stop_min_delta", "lr_schedule", "lr_warmup_epochs",
                 "lr_min",
             ) if getattr(args, name) != getattr(defaults, name)
@@ -232,7 +260,9 @@ def _run_train(args: argparse.Namespace) -> int:
             flags = ", ".join("--" + name.replace("_", "-") for name in conflicting)
             print(f"error: {flags} cannot be combined with --resume; the "
                   "run's configuration is restored from the snapshot "
-                  "(only --epochs may extend the budget)")
+                  "(only --epochs may extend the budget, and --num-workers "
+                  "may change the execution — the random stream is "
+                  "worker-count invariant)")
             return 2
         run_info = load_checkpoint_metadata(args.resume).get("cli_run")
         if run_info is None:
@@ -242,6 +272,13 @@ def _run_train(args: argparse.Namespace) -> int:
         config = ImDiffusionConfig(**run_info["config"])
         if args.epochs is not None:
             config = config.with_overrides(epochs=args.epochs)
+        # Parallelism is an execution detail, not part of the trajectory: a
+        # snapshot may be resumed under any worker count, and the count never
+        # sticks to the snapshot — each resume chooses it afresh (default:
+        # in-process), so a run checkpointed on a 16-core box never
+        # oversubscribes the laptop it is resumed on.
+        config = config.with_overrides(
+            num_workers=args.num_workers if args.num_workers is not None else 1)
         dataset = load_dataset(run_info["dataset"], seed=run_info["seed"],
                                scale=run_info["scale"])
         checkpoint_path = args.checkpoint or args.resume
@@ -257,6 +294,8 @@ def _run_train(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             learning_rate=args.learning_rate,
             validation_fraction=args.validation_fraction,
+            validation_split=args.validation_split,
+            num_workers=args.num_workers if args.num_workers is not None else 1,
             early_stopping_patience=args.early_stop_patience,
             early_stopping_min_delta=args.early_stop_min_delta,
             lr_schedule=args.lr_schedule,
@@ -280,6 +319,9 @@ def _run_train(args: argparse.Namespace) -> int:
     detector = ImDiffusionDetector(config)
     print(f"Training ImDiffusion on {dataset.name} "
           f"(train={dataset.train.shape}, budget={config.epochs} epochs) ...")
+    if config.num_workers > 1:
+        print(f"Data-parallel: {config.num_workers} spawned gradient workers "
+              "per batch")
     detector.fit(dataset.train, callbacks=callbacks, resume_from=args.resume)
     result = detector.last_train_result
 
@@ -315,13 +357,21 @@ def _run_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_detector(name: str, seed: int):
+def _make_detector(name: str, seed: int, validation_fraction: float = 0.0,
+                   validation_split: str = "random"):
     if name == "ImDiffusion":
         return ImDiffusionDetector(ImDiffusionConfig(
             window_size=32, num_steps=10, epochs=3, hidden_dim=24, num_blocks=1,
-            max_train_windows=48, seed=seed))
+            max_train_windows=48, validation_fraction=validation_fraction,
+            validation_split=validation_split, seed=seed))
     if name in BASELINE_REGISTRY:
-        return BASELINE_REGISTRY[name](seed=seed)
+        factory = BASELINE_REGISTRY[name]
+        kwargs = {"seed": seed}
+        # Trainable baselines take the validation knobs; IForest does not.
+        if "validation_fraction" in inspect.signature(factory).parameters:
+            kwargs.update(validation_fraction=validation_fraction,
+                          validation_split=validation_split)
+        return factory(**kwargs)
     raise KeyError(
         f"unknown detector {name!r}; available: ImDiffusion, {', '.join(BASELINE_REGISTRY)}"
     )
@@ -332,7 +382,9 @@ def _run_compare(args: argparse.Namespace) -> int:
     names = [name.strip() for name in args.detectors.split(",") if name.strip()]
     summaries: List[EvaluationSummary] = []
     for name in names:
-        detector = _make_detector(name, args.seed)
+        detector = _make_detector(name, args.seed,
+                                  validation_fraction=args.validation_fraction,
+                                  validation_split=args.validation_split)
         print(f"Running {name} on {dataset.name} ...")
         result = detector.fit_predict(dataset.train, dataset.test)
         metrics = evaluate_labels(result.labels, result.scores, dataset.test_labels)

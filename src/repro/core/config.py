@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..diffusion.samplers import SAMPLER_NAMES
+from ..training.loader import VALIDATION_SPLITS
 
 __all__ = ["ImDiffusionConfig"]
 
@@ -56,6 +57,15 @@ class ImDiffusionConfig:
       grad-free at every epoch end (with a dedicated generator, so the
       training random stream is untouched) and becomes the metric early
       stopping and best snapshots monitor.  0 disables validation.
+    * ``validation_split`` — how the held-out windows are chosen:
+      ``"random"`` draws a deterministic permutation, ``"tail"`` holds out
+      the last windows of the series (closest to production drift
+      monitoring, and consumes no randomness).
+    * ``num_workers`` — data-parallel training: shard every batch across
+      this many spawned gradient workers whose averaged gradients feed the
+      single optimizer step (:class:`repro.training.ParallelTrainer`).  1
+      (the default) trains in-process; the random stream is identical for
+      every worker count, and parameters agree up to float summation order.
     * ``early_stopping_patience`` / ``early_stopping_min_delta`` — training
       engine: stop after this many non-improving epochs (on the held-out
       loss when ``validation_fraction > 0``, the train loss otherwise) and
@@ -97,6 +107,8 @@ class ImDiffusionConfig:
     max_train_windows: Optional[int] = 64
     train_stride: Optional[int] = None
     validation_fraction: float = 0.0
+    validation_split: str = "random"
+    num_workers: int = 1
     early_stopping_patience: Optional[int] = None
     early_stopping_min_delta: float = 0.0
     lr_schedule: Optional[str] = None
@@ -144,6 +156,10 @@ class ImDiffusionConfig:
             raise ValueError("early_stopping_patience must be at least 1")
         if not 0.0 <= self.validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in [0, 1)")
+        if self.validation_split not in VALIDATION_SPLITS:
+            raise ValueError(f"validation_split must be one of {VALIDATION_SPLITS}")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
         if not 0 <= self.lr_warmup_epochs < max(self.epochs, 1):
             raise ValueError("lr_warmup_epochs must lie in [0, epochs)")
         if self.num_inference_steps is not None:

@@ -33,7 +33,8 @@ from ..training import (
     VALIDATION_SEED_OFFSET,
     EarlyStopping,
     LRSchedule,
-    Trainer,
+    ParallelLossSpec,
+    ParallelTrainer,
     WindowLoader,
     split_windows,
 )
@@ -41,7 +42,45 @@ from .config import ImDiffusionConfig
 from .ensemble import EnsembleDecision, EnsembleVoter
 from .modes import build_masks, recommended_stride
 
-__all__ = ["DetectionResult", "ImDiffusionDetector"]
+__all__ = ["DetectionResult", "ImDiffusionDetector", "ImputationLossSpec"]
+
+
+class ImputationLossSpec(ParallelLossSpec):
+    """The imputed-diffusion training objective, factored for data parallelism.
+
+    ``draw`` makes exactly the random draws of the pre-engine training
+    closure — policy indices, diffusion timesteps, forward noise, in that
+    order on the detector's generator — so the training random stream is
+    identical for every worker count; ``compute`` is the pure denoising loss
+    of Eq. (11) over one shard.  Shards are weighted by their masked-region
+    element count, matching the loss's normalisation, so the averaged
+    worker gradients reproduce the full-batch gradient exactly.
+
+    The spec is spawn-safe: it ships the (picklable) imputer stack and the
+    pre-stacked mask policies to each worker once at pool start-up.
+    """
+
+    def __init__(self, imputer: ImputedDiffusion, masks_arr: np.ndarray) -> None:
+        self.imputer = imputer
+        self.masks_arr = np.asarray(masks_arr, dtype=np.float64)
+
+    def build(self):
+        return self.imputer.model.parameters()
+
+    def draw(self, batch, rng, state):
+        policies = rng.integers(0, self.masks_arr.shape[0],
+                                size=batch.data.shape[0])
+        steps, noise = self.imputer.draw_training_noise(batch.data, rng)
+        return (policies, steps, noise)
+
+    def compute(self, batch, payload, state):
+        policies, steps, noise = payload
+        return self.imputer.training_loss(batch.data, self.masks_arr[policies],
+                                          policies, steps=steps, noise=noise)
+
+    def weight(self, batch, payload) -> float:
+        policies = payload[0]
+        return float((1.0 - self.masks_arr[policies]).sum())
 
 
 @dataclass
@@ -132,34 +171,39 @@ class ImDiffusionDetector:
         if config.max_train_windows is not None and windows.shape[0] > config.max_train_windows:
             chosen = self._rng.choice(windows.shape[0], size=config.max_train_windows,
                                       replace=False)
+            if config.validation_split == "tail":
+                # choice() returns the subset in random order; the tail split
+                # is only "the most recent windows" if time order survives
+                # subsampling.  Random splits keep the legacy (unsorted)
+                # order so the pre-engine bit-identity contract holds.
+                chosen = np.sort(chosen)
             windows = windows[chosen]
 
         (windows,), val_arrays = split_windows(
-            (windows,), config.validation_fraction, self._rng)
+            (windows,), config.validation_fraction, self._rng,
+            split=config.validation_split)
 
         masks = self._build_network(self._num_features)
         model = self._imputer.model
         optimizer = Adam(model.parameters(), lr=config.learning_rate)
 
         # Mask policies are pre-stacked once so each batch gathers its masks
-        # with a single fancy-index instead of a per-item Python stack.
+        # with a single fancy-index instead of a per-item Python stack.  The
+        # loss spec makes the closure's random draws in the parent and its
+        # computation in-process or in spawned gradient workers
+        # (config.num_workers); at one worker the loop is bit-identical to
+        # the pre-engine hand-rolled loop.
         masks_arr = np.stack(masks)
-        num_policies = masks_arr.shape[0]
-
-        def imputation_loss(batch, state):
-            batch_windows = batch.data
-            policies = self._rng.integers(0, num_policies, size=batch_windows.shape[0])
-            batch_masks = masks_arr[policies]
-            return self._imputer.training_loss(batch_windows, batch_masks,
-                                               policies, self._rng)
+        spec = ImputationLossSpec(self._imputer, masks_arr)
 
         validate_fn = None
         if val_arrays is not None:
             validate_fn = self._make_validate_fn(val_arrays[0], masks_arr)
 
         loader = WindowLoader(windows, batch_size=config.batch_size, rng=self._rng)
-        trainer = Trainer(
-            model.parameters(), optimizer, imputation_loss,
+        trainer = ParallelTrainer(
+            model.parameters(), optimizer, spec,
+            num_workers=config.num_workers,
             grad_clip=config.grad_clip,
             callbacks=self._build_callbacks(optimizer) + list(callbacks),
             rng=self._rng,

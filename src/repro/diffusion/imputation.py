@@ -90,8 +90,26 @@ class ImputedDiffusion:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
+    def draw_training_noise(self, windows: np.ndarray, rng: np.random.Generator
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pre-draw the ``(steps, noise)`` randomness of :meth:`training_loss`.
+
+        Makes exactly the draws — in the same order and shapes — that
+        :meth:`training_loss` makes internally, so a caller can draw once on
+        a shared generator and evaluate the loss rng-free (the data-parallel
+        engine draws in the parent and computes in the workers).  ``noise``
+        is returned in the model's native ``(batch, K, L)`` layout.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        steps = self.diffusion.sample_timesteps(windows.shape[0], rng)
+        noise = rng.standard_normal(windows.transpose(0, 2, 1).shape)
+        return steps, noise
+
     def training_loss(self, windows: np.ndarray, masks: np.ndarray,
-                      policies: np.ndarray, rng: np.random.Generator) -> Tensor:
+                      policies: np.ndarray,
+                      rng: Optional[np.random.Generator] = None,
+                      steps: Optional[np.ndarray] = None,
+                      noise: Optional[np.ndarray] = None) -> Tensor:
         """Denoising loss of Eq. (11), evaluated on the masked region only.
 
         Parameters
@@ -102,6 +120,14 @@ class ImputedDiffusion:
             Observation masks of the same shape (1 = observed).
         policies:
             Masking-policy indices ``p`` of shape ``(batch,)``.
+        rng:
+            Generator for the timestep/noise draws.  May be omitted when both
+            ``steps`` and ``noise`` are supplied pre-drawn (see
+            :meth:`draw_training_noise`); injecting the same draws is
+            bit-identical to drawing them here.
+        steps, noise:
+            Pre-drawn diffusion timesteps ``(batch,)`` and forward noise in
+            ``(batch, K, L)`` layout.
         """
         windows = np.asarray(windows, dtype=np.float64)
         masks = np.asarray(masks, dtype=np.float64)
@@ -114,8 +140,13 @@ class ImputedDiffusion:
         observed = masks.transpose(0, 2, 1)
         target_region = 1.0 - observed
 
-        steps = self.diffusion.sample_timesteps(batch, rng)
-        noise = rng.standard_normal(x0.shape)
+        if steps is None or noise is None:
+            if rng is None:
+                raise ValueError(
+                    "training_loss needs an rng unless steps and noise are pre-drawn"
+                )
+            steps = self.diffusion.sample_timesteps(batch, rng)
+            noise = rng.standard_normal(x0.shape)
         alpha_bars = self.diffusion.schedule.alpha_bars[steps - 1][:, None, None]
         x_t = np.sqrt(alpha_bars) * x0 + np.sqrt(1.0 - alpha_bars) * noise
 

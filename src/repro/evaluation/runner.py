@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.datasets import MTSDataset
+from ..training.loader import VALIDATION_SPLITS
 from .delay import average_detection_delay
 from .metrics import precision_recall_f1
 from .range_metrics import range_auc_pr
@@ -155,6 +156,36 @@ def _apply_engine_overrides(detector, sampler: Optional[str],
     return detector
 
 
+def _apply_validation_overrides(detector, validation_fraction: Optional[float],
+                                validation_split: Optional[str]):
+    """Apply held-out validation config overrides to a detector.
+
+    Works for both detector families: ``ImDiffusionConfig``-style detectors
+    get a config replacement, the baselines get their ``validation_fraction``
+    / ``validation_split`` attributes set (they are read at ``fit`` time).
+    Detectors with neither knob (IForest) are returned unchanged.
+    """
+    if validation_fraction is None and validation_split is None:
+        return detector
+    if validation_fraction is not None and not 0.0 <= validation_fraction < 1.0:
+        raise ValueError("validation_fraction must lie in [0, 1)")
+    if validation_split is not None and validation_split not in VALIDATION_SPLITS:
+        raise ValueError(f"validation_split must be one of {VALIDATION_SPLITS}")
+    overrides = {}
+    if validation_fraction is not None:
+        overrides["validation_fraction"] = float(validation_fraction)
+    if validation_split is not None:
+        overrides["validation_split"] = validation_split
+    config = getattr(detector, "config", None)
+    if config is not None and hasattr(config, "with_overrides"):
+        detector.config = config.with_overrides(**overrides)
+        return detector
+    for name, value in overrides.items():
+        if hasattr(detector, name):
+            setattr(detector, name, value)
+    return detector
+
+
 def _extract_labels_scores(prediction) -> tuple:
     """Accept either a DetectionResult-like object or a (labels, scores) tuple."""
     if hasattr(prediction, "labels") and hasattr(prediction, "scores"):
@@ -166,7 +197,9 @@ def _extract_labels_scores(prediction) -> tuple:
 def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDataset,
                       num_runs: int = 3, detector_name: Optional[str] = None,
                       adjust: bool = True, sampler: Optional[str] = None,
-                      num_inference_steps: Optional[int] = None) -> EvaluationSummary:
+                      num_inference_steps: Optional[int] = None,
+                      validation_fraction: Optional[float] = None,
+                      validation_split: Optional[str] = None) -> EvaluationSummary:
     """Run a detector ``num_runs`` times on ``dataset`` and aggregate the metrics.
 
     Parameters
@@ -184,6 +217,12 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
         trades a little accuracy for a proportional scoring speedup).
         Ignored for detectors without an ``ImDiffusionConfig``-style
         ``config`` attribute (the baselines).
+    validation_fraction, validation_split:
+        Held-out validation overrides applied to every detector the factory
+        produces (``validation_split="tail"`` validates on the most recent
+        windows).  Applied through the config for ImDiffusion and through
+        the detector attributes for the baselines; detectors without the
+        knobs are left unchanged.
     """
     if num_runs < 1:
         raise ValueError("num_runs must be at least 1")
@@ -192,6 +231,8 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
     for run in range(num_runs):
         detector = detector_factory(run)
         detector = _apply_engine_overrides(detector, sampler, num_inference_steps)
+        detector = _apply_validation_overrides(detector, validation_fraction,
+                                               validation_split)
         fit_start = time.perf_counter()
         detector.fit(dataset.train)
         train_seconds = time.perf_counter() - fit_start

@@ -79,6 +79,23 @@ class SGD(Optimizer):
                 arrays[f"velocity.{index}"] = vel.copy()
         return scalars, arrays
 
+    # Momentum slots are keyed by ``id(parameter)``, which is process-local;
+    # pickling re-keys them by position so a transported optimizer re-attaches
+    # to the transported parameters.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_velocity"] = {index: self._velocity[id(p)]
+                              for index, p in enumerate(self.parameters)
+                              if id(p) in self._velocity}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        by_index = state.pop("_velocity")
+        self.__dict__.update(state)
+        self._velocity = {id(p): by_index[index]
+                          for index, p in enumerate(self.parameters)
+                          if index in by_index}
+
     def load_state_dict(self, scalars: dict,
                         arrays: Optional[Dict[str, np.ndarray]] = None) -> None:
         super().load_state_dict(scalars)
@@ -131,6 +148,26 @@ class Adam(Optimizer):
                 arrays[f"m.{index}"] = m.copy()
                 arrays[f"v.{index}"] = self._v[id(p)].copy()
         return scalars, arrays
+
+    # Moment slots are keyed by ``id(parameter)``, which is process-local;
+    # pickling re-keys them by position so a transported optimizer re-attaches
+    # to the transported parameters.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for slot in ("_m", "_v"):
+            slots = getattr(self, slot)
+            state[slot] = {index: slots[id(p)]
+                           for index, p in enumerate(self.parameters)
+                           if id(p) in slots}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        by_index = {slot: state.pop(slot) for slot in ("_m", "_v")}
+        self.__dict__.update(state)
+        for slot, values in by_index.items():
+            setattr(self, slot, {id(p): values[index]
+                                 for index, p in enumerate(self.parameters)
+                                 if index in values})
 
     def load_state_dict(self, scalars: dict,
                         arrays: Optional[Dict[str, np.ndarray]] = None) -> None:

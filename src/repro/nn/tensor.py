@@ -179,6 +179,33 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    # ------------------------------------------------------------------
+    # Pickling (state transport for multiprocessing workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle a tensor as pure state, dropping the autograd graph.
+
+        Backward closures and parent edges are process-local (they capture
+        live intermediate arrays) and cannot travel across a ``spawn``
+        boundary; a transported tensor arrives as a leaf.  This is what makes
+        modules and optimizers shippable to data-parallel gradient workers.
+        """
+        return {
+            "data": self.data,
+            "grad": self.grad,
+            "requires_grad": self.requires_grad,
+            "_inference": self._inference,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.data = state["data"]
+        self.grad = state["grad"]
+        self.requires_grad = state["requires_grad"]
+        self._backward = None
+        self._parents = ()
+        self._op = ""
+        self._inference = state["_inference"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
 

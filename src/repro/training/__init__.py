@@ -15,7 +15,12 @@ loop for the ImDiffusion denoiser and all nine trainable baselines.
 * callbacks — :class:`LossHistory`, :class:`EarlyStopping`,
   :class:`LRSchedule` (``StepLR``/``CosineLR``), :class:`Checkpoint`,
   :class:`LambdaCallback`.  Early stopping and best snapshots both track
-  :func:`monitored_loss` — the held-out loss whenever validation runs.
+  :func:`monitored_loss` — the held-out loss whenever validation runs,
+* :class:`ParallelTrainer` — data-parallel execution of the same loop:
+  batches are sharded across spawned gradient workers through the
+  :class:`GradientReducer` seam, and the parent averages shard gradients
+  before the single optimizer step (bit-identical to :class:`Trainer` at
+  ``num_workers=1``).
 
 Quickstart::
 
@@ -38,17 +43,38 @@ from .callbacks import (
     LRSchedule,
     monitored_loss,
 )
-from .loader import VALIDATION_SEED_OFFSET, Batch, WindowLoader, split_windows
-from .trainer import Trainer, TrainResult, TrainState
+from .loader import (
+    VALIDATION_SEED_OFFSET,
+    VALIDATION_SPLITS,
+    Batch,
+    WindowLoader,
+    split_windows,
+)
+from .parallel import (
+    MethodLossSpec,
+    MultiprocessReducer,
+    ParallelLossSpec,
+    ParallelTrainer,
+    SpecReducer,
+)
+from .trainer import GradientReducer, SerialReducer, Trainer, TrainResult, TrainState
 
 __all__ = [
     "Batch",
     "WindowLoader",
     "split_windows",
     "VALIDATION_SEED_OFFSET",
+    "VALIDATION_SPLITS",
     "Trainer",
     "TrainResult",
     "TrainState",
+    "GradientReducer",
+    "SerialReducer",
+    "ParallelLossSpec",
+    "MethodLossSpec",
+    "SpecReducer",
+    "MultiprocessReducer",
+    "ParallelTrainer",
     "Callback",
     "LossHistory",
     "EarlyStopping",

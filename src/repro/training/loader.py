@@ -21,7 +21,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Batch", "WindowLoader", "split_windows", "VALIDATION_SEED_OFFSET"]
+__all__ = ["Batch", "WindowLoader", "split_windows", "VALIDATION_SEED_OFFSET",
+           "VALIDATION_SPLITS"]
 
 #: Offset added to a detector's seed to derive the dedicated validation
 #: generator.  Validation always re-seeds with ``seed + offset``, so the
@@ -30,23 +31,38 @@ __all__ = ["Batch", "WindowLoader", "split_windows", "VALIDATION_SEED_OFFSET"]
 VALIDATION_SEED_OFFSET = 7919
 
 
+#: Valid ``split`` strategies of :func:`split_windows`.
+VALIDATION_SPLITS = ("random", "tail")
+
+
 def split_windows(arrays: Sequence[np.ndarray], validation_fraction: float,
-                  rng: np.random.Generator
+                  rng: np.random.Generator, split: str = "random"
                   ) -> Tuple[Tuple[np.ndarray, ...], Optional[Tuple[np.ndarray, ...]]]:
     """Deterministically split aligned sample arrays into train/held-out parts.
 
-    Draws exactly one ``rng.permutation`` (and nothing when
-    ``validation_fraction`` is 0, keeping the random stream untouched so a
-    validation-free run stays bit-identical to the legacy loops), assigns the
-    first ``round(n * validation_fraction)`` permuted samples — clamped to
+    With ``split="random"`` (the default) draws exactly one
+    ``rng.permutation`` (and nothing when ``validation_fraction`` is 0,
+    keeping the random stream untouched so a validation-free run stays
+    bit-identical to the legacy loops), assigns the first
+    ``round(n * validation_fraction)`` permuted samples — clamped to
     ``[1, n - 1]`` — to the held-out side, and returns both sides with their
     original sample order preserved.
+
+    With ``split="tail"`` the held-out side is the *last* ``round(n *
+    validation_fraction)`` samples in array order — for sequentially cut
+    windows, the end of the series — which mirrors production drift
+    monitoring: the model is validated on the most recent data it never
+    trained on.  The tail split never consumes ``rng``, so switching a
+    validation-free run to a tail-validated one leaves the training random
+    stream untouched.
 
     Returns ``(train_arrays, val_arrays)``; ``val_arrays`` is ``None`` when
     the fraction is 0 or there are too few samples to hold any out.
     """
     if not 0.0 <= validation_fraction < 1.0:
         raise ValueError("validation_fraction must lie in [0, 1)")
+    if split not in VALIDATION_SPLITS:
+        raise ValueError(f"split must be one of {VALIDATION_SPLITS}")
     arrays = tuple(np.asarray(a) for a in arrays)
     if not arrays:
         raise ValueError("split_windows needs at least one array")
@@ -59,6 +75,9 @@ def split_windows(arrays: Sequence[np.ndarray], validation_fraction: float,
     if validation_fraction == 0.0 or num < 2:
         return arrays, None
     num_val = int(np.clip(round(num * validation_fraction), 1, num - 1))
+    if split == "tail":
+        return (tuple(array[:num - num_val] for array in arrays),
+                tuple(array[num - num_val:] for array in arrays))
     order = rng.permutation(num)
     val_idx = np.sort(order[:num_val])
     train_idx = np.sort(order[num_val:])

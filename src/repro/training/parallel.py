@@ -1,0 +1,358 @@
+"""Data-parallel training: sharded multiprocess gradient workers.
+
+:class:`ParallelTrainer` scales the shared :class:`~repro.training.Trainer`
+across CPU cores without changing its semantics: every mini-batch is split
+into contiguous per-sample shards, ``num_workers`` spawned processes each run
+one forward/backward over their shard, and the parent weight-averages the
+shard gradients before taking the *single* optimizer step the serial loop
+would have taken.  The decomposition is exact — for a loss of the form
+``sum(errors) / weight`` the full-batch gradient equals
+``sum(w_i * g_i) / sum(w_i)`` over the shards — so data parallelism is a pure
+execution detail:
+
+* the random stream is worker-count invariant: all batch-level randomness is
+  drawn **in the parent** (:meth:`ParallelLossSpec.draw`) before sharding,
+* callbacks, gradient clipping, checkpointing and resume run in the parent,
+  untouched; ``num_workers`` is not part of the checkpoint, so a snapshot can
+  be resumed under a different worker count,
+* at ``num_workers=1`` no process is spawned and the loop is bit-identical
+  to the serial :class:`~repro.training.Trainer` (regression-tested),
+* at ``num_workers>1`` runs are bitwise reproducible for a fixed worker
+  count and numerically equivalent (up to float summation order) across
+  worker counts.
+
+Workers are ``spawn``-started (fork-free), so everything that crosses the
+process boundary must be picklable: the :class:`ParallelLossSpec` is shipped
+once at pool start-up (module/optimizer transport is provided by
+``repro.nn``'s pickle support), after which each step exchanges only the
+current parameters, the batch shard and the gradient arrays.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .loader import Batch
+from .trainer import GradientReducer, Trainer, TrainState
+
+__all__ = [
+    "ParallelLossSpec",
+    "MethodLossSpec",
+    "SpecReducer",
+    "MultiprocessReducer",
+    "ParallelTrainer",
+]
+
+
+class ParallelLossSpec:
+    """A training loss factored for data-parallel execution.
+
+    The serial engine consumes an opaque closure ``loss_fn(batch, state)``;
+    workers cannot, both because closures do not pickle and because any
+    randomness drawn *inside* the loss would depend on how the batch was
+    sharded.  A spec splits the closure into three picklable parts:
+
+    * :meth:`draw` — every random draw the loss makes for a batch, executed
+      in the parent on the trainer's generator *before* sharding.  Returns a
+      tuple of arrays whose leading dimension indexes batch samples, so the
+      payload shards alongside the batch.  Specs of deterministic losses
+      return the default empty tuple.
+    * :meth:`compute` — the pure, rng-free loss of one (shard, payload
+      shard); runs identically in the parent (``num_workers=1``) and in a
+      worker.
+    * :meth:`weight` — the shard's weight in the gradient average.  The
+      default (shard size) is exact for per-sample mean losses; losses
+      normalised by something else (e.g. a masked-region element count)
+      override it so ``sum(w_i * g_i) / sum(w_i)`` reproduces the full-batch
+      gradient.
+
+    The contract: ``compute(batch, draw(batch, rng, state), state)`` must be
+    bit-identical to the serial closure, consuming ``rng`` in the same order.
+    """
+
+    def build(self) -> List:
+        """Materialise the parameter list on the worker side.
+
+        Called once per worker after the spec is unpickled; must return the
+        trainable parameters in exactly the order of the parent trainer's
+        parameter list (each step overwrites them with the parent's data).
+        """
+        raise NotImplementedError
+
+    def draw(self, batch: Batch, rng: Optional[np.random.Generator],
+             state: TrainState) -> Tuple[np.ndarray, ...]:
+        return ()
+
+    def compute(self, batch: Batch, payload: Tuple[np.ndarray, ...],
+                state: TrainState):
+        raise NotImplementedError
+
+    def weight(self, batch: Batch, payload: Tuple[np.ndarray, ...]) -> float:
+        return float(batch.size)
+
+
+class MethodLossSpec(ParallelLossSpec):
+    """Spec over methods of a picklable owner (the baseline detectors).
+
+    Ships the owning detector to each worker once and resolves the loss and
+    parameter-list methods by name, so a baseline opts into data parallelism
+    by exposing its loss as a *method* (picklable by reference) instead of a
+    local closure.  Only valid for deterministic losses without in-loop side
+    effects: the worker-side owner is a replica, so anything the loss mutated
+    (discriminator steps, rng draws) would diverge from the parent.
+    """
+
+    def __init__(self, owner, loss_method: str,
+                 parameters_method: str = "_trainer_parameters") -> None:
+        self.owner = owner
+        self.loss_method = loss_method
+        self.parameters_method = parameters_method
+
+    def build(self) -> List:
+        return list(getattr(self.owner, self.parameters_method)())
+
+    def compute(self, batch: Batch, payload: Tuple[np.ndarray, ...],
+                state: TrainState):
+        return getattr(self.owner, self.loss_method)(batch, state)
+
+
+class SpecReducer(GradientReducer):
+    """In-process execution of a :class:`ParallelLossSpec`.
+
+    The ``num_workers=1`` path: no process is spawned and no arrays are
+    copied, so a :class:`ParallelTrainer` with one worker runs the exact
+    serial loop — the spec contract then guarantees bit-identity with a
+    :class:`~repro.training.Trainer` over the equivalent closure.
+    """
+
+    def __init__(self, spec: ParallelLossSpec) -> None:
+        self.spec = spec
+        self._trainer: Optional[Trainer] = None
+
+    def open(self, trainer: Trainer) -> None:
+        self._trainer = trainer
+
+    def accumulate(self, batch: Batch, state: TrainState) -> float:
+        payload = self.spec.draw(batch, self._trainer.rng, state)
+        loss = self.spec.compute(batch, payload, state)
+        loss.backward()
+        return float(loss.data)
+
+
+def _shard_bounds(num_samples: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal ``(start, stop)`` shard bounds; empty shards dropped."""
+    base, extra = divmod(num_samples, num_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            break
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _worker_main(conn, spec: ParallelLossSpec) -> None:
+    """Gradient-worker loop: receive (params, shard), reply (loss, weight, grads).
+
+    Runs in a spawned subprocess.  The spec arrives pickled through the
+    process arguments; each subsequent message carries the parent's current
+    parameter arrays (overwriting the replica, so resume/early-stop restores
+    in the parent propagate automatically), one batch shard with its
+    pre-drawn random payload, and a slim :class:`TrainState`.  Exceptions are
+    caught per step and shipped back as formatted tracebacks so the parent
+    can re-raise without losing pipe lockstep.
+    """
+    parameters = spec.build()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # parent died / closed the pipe
+            return
+        if message is None:
+            return
+        param_arrays, shard_arrays, shard_indices, payload, state = message
+        try:
+            if len(param_arrays) != len(parameters):
+                raise RuntimeError(
+                    f"worker rebuilt {len(parameters)} parameters but received "
+                    f"{len(param_arrays)}; spec.build() must mirror the "
+                    "parent trainer's parameter list"
+                )
+            for parameter, value in zip(parameters, param_arrays):
+                parameter.data = value
+                parameter.grad = None
+            batch = Batch(arrays=shard_arrays, indices=shard_indices)
+            loss = spec.compute(batch, payload, state)
+            loss.backward()
+            # None marks a parameter the loss did not touch; it must stay
+            # None through the reduction, because the optimizers skip
+            # None-grad parameters entirely (no moment decay) and the
+            # parallel run must match that serial semantic.
+            gradients = [parameter.grad for parameter in parameters]
+            conn.send(("ok", float(loss.data),
+                       float(spec.weight(batch, payload)), gradients))
+        except Exception:  # noqa: BLE001 - shipped to the parent verbatim
+            conn.send(("error", traceback.format_exc()))
+
+
+class MultiprocessReducer(GradientReducer):
+    """Shard each batch across spawned workers and average their gradients.
+
+    The pool lives for the duration of one :meth:`Trainer.fit` call
+    (``open``/``close``); per step the parent broadcasts the current
+    parameters, scatters contiguous shards, and combines the replies in
+    shard order as ``sum(w_i * g_i) / sum(w_i)`` — the exact full-batch
+    gradient for every spec that honours the :class:`ParallelLossSpec`
+    weight contract.  A batch smaller than the pool simply leaves the
+    trailing workers idle for that step.
+    """
+
+    def __init__(self, spec: ParallelLossSpec, num_workers: int) -> None:
+        if num_workers < 2:
+            raise ValueError("MultiprocessReducer needs at least 2 workers; "
+                             "use SpecReducer for the in-process path")
+        self.spec = spec
+        self.num_workers = int(num_workers)
+        self._trainer: Optional[Trainer] = None
+        self._processes: List = []
+        self._connections: List = []
+
+    # ------------------------------------------------------------------
+    def open(self, trainer: Trainer) -> None:
+        self._trainer = trainer
+        if self._processes:
+            return
+        context = multiprocessing.get_context("spawn")  # fork-free by design
+        try:
+            for _ in range(self.num_workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(target=_worker_main,
+                                          args=(child_conn, self.spec),
+                                          daemon=True)
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+        except Exception:
+            # A partial pool must never survive: reap what did spawn so a
+            # retried fit() starts from scratch instead of silently sharding
+            # batches across fewer workers than requested.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        for conn in self._connections:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in self._connections:
+            conn.close()
+        self._processes = []
+        self._connections = []
+
+    # ------------------------------------------------------------------
+    def accumulate(self, batch: Batch, state: TrainState) -> float:
+        trainer = self._trainer
+        if len(self._connections) != self.num_workers:
+            raise RuntimeError(
+                f"worker pool holds {len(self._connections)} connections but "
+                f"{self.num_workers} were requested; call open() first"
+            )
+        payload = self.spec.draw(batch, trainer.rng, state)
+        bounds = _shard_bounds(batch.size, self.num_workers)
+        param_arrays = [np.asarray(p.data) for p in trainer.parameters]
+        slim_state = TrainState(epoch=state.epoch, step=state.step,
+                                batch=state.batch, last_loss=state.last_loss)
+        for (start, stop), conn in zip(bounds, self._connections):
+            conn.send((
+                param_arrays,
+                tuple(array[start:stop] for array in batch.arrays),
+                batch.indices[start:stop],
+                tuple(array[start:stop] for array in payload),
+                slim_state,
+            ))
+
+        replies = []
+        for (start, stop), conn in zip(bounds, self._connections):
+            try:
+                replies.append(conn.recv())
+            except EOFError:
+                raise RuntimeError(
+                    "a gradient worker died mid-step; the loss spec is "
+                    "probably not spawn-safe (it must be picklable and "
+                    "rng-free in compute())"
+                ) from None
+        errors = [reply[1] for reply in replies if reply[0] == "error"]
+        if errors:
+            raise RuntimeError("gradient worker failed:\n" + "\n".join(errors))
+
+        if len(replies) == 1:
+            # Single shard (batch smaller than the pool): the worker's output
+            # IS the batch output — no averaging, bitwise identical to a
+            # one-worker step.
+            _, loss_value, _, gradients = replies[0]
+            for parameter, gradient in zip(trainer.parameters, gradients):
+                parameter.grad = gradient
+            return loss_value
+
+        total_weight = 0.0
+        total_loss = 0.0
+        totals: List[Optional[np.ndarray]] = [None] * len(trainer.parameters)
+        for _, loss_value, weight, gradients in replies:
+            total_weight += weight
+            total_loss += weight * loss_value
+            for index, gradient in enumerate(gradients):
+                if gradient is None:
+                    continue
+                scaled = weight * gradient
+                totals[index] = scaled if totals[index] is None \
+                    else totals[index] + scaled
+        if total_weight <= 0:
+            raise RuntimeError("gradient workers reported non-positive total weight")
+        # A parameter no shard touched keeps grad=None, exactly as a serial
+        # backward would have left it (the optimizers skip such parameters).
+        for parameter, total in zip(trainer.parameters, totals):
+            parameter.grad = None if total is None else total / total_weight
+        return total_loss / total_weight
+
+
+class ParallelTrainer(Trainer):
+    """A :class:`~repro.training.Trainer` whose gradients come from a sharded pool.
+
+    Construction mirrors ``Trainer`` but takes a :class:`ParallelLossSpec`
+    instead of a loss closure.  ``num_workers=1`` executes the spec
+    in-process (bit-identical to the serial trainer, no subprocess);
+    ``num_workers>=2`` spawns that many gradient workers for the duration of
+    each :meth:`fit` call.  Checkpoints, callbacks and ``validate_fn`` are
+    inherited unchanged — the worker count is an execution detail that never
+    enters the snapshot, so runs may be resumed on machines with different
+    core counts.
+    """
+
+    def __init__(self, parameters: Sequence, optimizer,
+                 loss_spec: ParallelLossSpec, *, num_workers: int = 1,
+                 grad_clip: Optional[float] = None,
+                 callbacks: Sequence = (),
+                 rng: Optional[np.random.Generator] = None,
+                 validate_fn=None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.loss_spec = loss_spec
+        self.num_workers = int(num_workers)
+        reducer = (SpecReducer(loss_spec) if num_workers == 1
+                   else MultiprocessReducer(loss_spec, num_workers))
+        super().__init__(parameters, optimizer, loss_fn=None,
+                         grad_clip=grad_clip, callbacks=callbacks, rng=rng,
+                         validate_fn=validate_fn, reducer=reducer)

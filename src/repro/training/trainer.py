@@ -28,9 +28,53 @@ from ..nn import Optimizer, clip_grad_norm
 from .callbacks import Callback
 from .loader import Batch
 
-__all__ = ["TrainState", "TrainResult", "Trainer"]
+__all__ = ["TrainState", "TrainResult", "Trainer", "GradientReducer", "SerialReducer"]
 
 _STATE_FORMAT_VERSION = 1
+
+
+class GradientReducer:
+    """Strategy that turns one batch into gradients on the trainer's parameters.
+
+    The reducer is the seam between the epoch/batch loop and *how* the batch
+    gradient is produced: the default :class:`SerialReducer` runs the loss
+    closure in-process (one forward/backward, exactly the pre-seam loop),
+    while :class:`repro.training.MultiprocessReducer` shards the batch across
+    worker processes and averages their gradients.  Everything around the
+    seam — callbacks, gradient clipping, the optimizer step, checkpoint and
+    resume — is reducer-agnostic and stays in :class:`Trainer`.
+    """
+
+    def open(self, trainer: "Trainer") -> None:
+        """Acquire resources for one ``fit`` call (worker pools, ...)."""
+
+    def close(self) -> None:
+        """Release resources acquired by :meth:`open`; idempotent."""
+
+    def accumulate(self, batch: Batch, state: "TrainState") -> float:
+        """Leave the batch gradient in each parameter's ``grad`` slot.
+
+        Returns the batch loss as a float.  Called with all gradients
+        zeroed; must not step the optimizer or clip.
+        """
+        raise NotImplementedError
+
+
+class SerialReducer(GradientReducer):
+    """In-process forward/backward of the trainer's loss closure."""
+
+    def __init__(self) -> None:
+        self._trainer: Optional["Trainer"] = None
+
+    def open(self, trainer: "Trainer") -> None:
+        if trainer.loss_fn is None:
+            raise ValueError("SerialReducer requires the trainer to have a loss_fn")
+        self._trainer = trainer
+
+    def accumulate(self, batch: Batch, state: "TrainState") -> float:
+        loss = self._trainer.loss_fn(batch, state)
+        loss.backward()
+        return float(loss.data)
 
 
 @dataclass
@@ -100,23 +144,33 @@ class Trainer:
         should run grad-free (under :class:`repro.nn.no_grad`) and must not
         consume the trainer's ``rng``, or the validated run's training
         stream would diverge from an unvalidated one.
+    reducer:
+        The :class:`GradientReducer` producing each batch's gradients.
+        Defaults to a :class:`SerialReducer` over ``loss_fn`` (the classic
+        in-process loop); :class:`repro.training.ParallelTrainer` plugs in a
+        multiprocess reducer here instead.  ``loss_fn`` may be ``None`` when
+        a reducer is supplied.
     """
 
     def __init__(self, parameters: Sequence, optimizer: Optimizer,
-                 loss_fn: Callable[[Batch, TrainState], object],
+                 loss_fn: Optional[Callable[[Batch, TrainState], object]],
                  grad_clip: Optional[float] = None,
                  callbacks: Sequence[Callback] = (),
                  rng: Optional[np.random.Generator] = None,
-                 validate_fn: Optional[Callable[["Trainer", TrainState], float]] = None) -> None:
+                 validate_fn: Optional[Callable[["Trainer", TrainState], float]] = None,
+                 reducer: Optional[GradientReducer] = None) -> None:
         self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("Trainer received an empty parameter list")
+        if loss_fn is None and reducer is None:
+            raise ValueError("Trainer needs a loss_fn or a reducer")
         self.optimizer = optimizer
         self.loss_fn = loss_fn
         self.grad_clip = grad_clip
         self.callbacks = list(callbacks)
         self.rng = rng
         self.validate_fn = validate_fn
+        self.reducer = reducer if reducer is not None else SerialReducer()
         self.state = TrainState()
 
     # ------------------------------------------------------------------
@@ -135,29 +189,32 @@ class Trainer:
             raise ValueError("epochs must be non-negative")
         state = self.state
         start_time = time.perf_counter()
-        self._emit("on_train_start")
-        while state.epoch < epochs and not state.stop_requested:
-            state.batch = 0
-            state.batch_losses = []
-            self._emit("on_epoch_start")
-            for batch in loader:
-                self.optimizer.zero_grad()
-                loss = self.loss_fn(batch, state)
-                loss.backward()
-                if self.grad_clip is not None:
-                    clip_grad_norm(self.parameters, self.grad_clip)
-                self.optimizer.step()
-                state.last_loss = float(loss.data)
-                state.batch_losses.append(state.last_loss)
-                state.step += 1
-                state.batch += 1
-                self._emit("on_batch_end")
-            state.epoch_losses.append(float(np.mean(state.batch_losses)))
-            state.epoch += 1
-            if self.validate_fn is not None:
-                state.val_losses.append(float(self.validate_fn(self, state)))
-            self._emit("on_epoch_end")
-        self._emit("on_train_end")
+        self.reducer.open(self)
+        try:
+            self._emit("on_train_start")
+            while state.epoch < epochs and not state.stop_requested:
+                state.batch = 0
+                state.batch_losses = []
+                self._emit("on_epoch_start")
+                for batch in loader:
+                    self.optimizer.zero_grad()
+                    loss_value = self.reducer.accumulate(batch, state)
+                    if self.grad_clip is not None:
+                        clip_grad_norm(self.parameters, self.grad_clip)
+                    self.optimizer.step()
+                    state.last_loss = loss_value
+                    state.batch_losses.append(state.last_loss)
+                    state.step += 1
+                    state.batch += 1
+                    self._emit("on_batch_end")
+                state.epoch_losses.append(float(np.mean(state.batch_losses)))
+                state.epoch += 1
+                if self.validate_fn is not None:
+                    state.val_losses.append(float(self.validate_fn(self, state)))
+                self._emit("on_epoch_end")
+            self._emit("on_train_end")
+        finally:
+            self.reducer.close()
         return TrainResult(
             epoch_losses=list(state.epoch_losses),
             epochs_run=state.epoch,

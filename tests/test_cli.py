@@ -15,6 +15,16 @@ class TestParser:
         assert args.dataset == "SMD"
         assert args.epochs == 3
         assert args.no_ensemble is False
+        assert args.validation_fraction == 0.0
+        assert args.validation_split == "random"
+        assert args.num_workers == 1
+
+    def test_compare_takes_validation_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--validation-fraction", "0.2",
+             "--validation-split", "tail"])
+        assert args.validation_fraction == 0.2
+        assert args.validation_split == "tail"
 
     def test_compare_detector_list(self):
         args = build_parser().parse_args(["compare", "--detectors", "IForest, TranAD"])
@@ -61,6 +71,8 @@ class TestTrainCommand:
         assert args.lr_schedule is None
         assert args.registry is None
         assert args.validation_fraction == 0.0
+        assert args.validation_split == "random"
+        assert args.num_workers is None  # 1 unless --resume keeps the snapshot's
         assert args.resume is None
 
     def test_train_publishes_registry_model(self, tmp_path, capsys):
@@ -115,6 +127,44 @@ class TestTrainCommand:
 
         detector = ModelRegistry(str(tmp_path / "registry")).load("val-run")
         assert len(detector.val_losses) == 2
+
+    def test_train_num_workers_flag(self, tmp_path, capsys):
+        exit_code = main([
+            "train", "--dataset", "GCP", "--scale", "0.07", "--epochs", "1",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+            "--num-workers", "2",
+            "--registry", str(tmp_path / "registry"), "--model-name", "par-run",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Data-parallel: 2 spawned gradient workers per batch" in output
+
+        from repro.serving import ModelRegistry
+
+        # The published checkpoint carries the knob; a serial retrain of the
+        # same config stays on the same random stream.
+        detector = ModelRegistry(str(tmp_path / "registry")).load("par-run")
+        assert detector.config.num_workers == 2
+
+    def test_detect_validation_fraction_runs(self, capsys):
+        exit_code = main([
+            "detect", "--dataset", "GCP", "--scale", "0.07", "--epochs", "1",
+            "--window-size", "24", "--num-steps", "6", "--hidden-dim", "8",
+            "--validation-fraction", "0.25", "--validation-split", "tail",
+        ])
+        assert exit_code == 0
+        assert "f1=" in capsys.readouterr().out
+
+    def test_compare_validation_fraction_covers_baselines_and_iforest(self, capsys):
+        # IForest takes no validation knobs and must still run unaffected.
+        exit_code = main([
+            "compare", "--dataset", "GCP", "--scale", "0.07",
+            "--detectors", "IForest,LSTM-AD",
+            "--validation-fraction", "0.25",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "IForest" in output and "LSTM-AD" in output
 
     def test_train_serve_round_trip(self, tmp_path, capsys):
         # The acceptance path: `repro train` publishes a checkpoint that
@@ -200,6 +250,43 @@ class TestTrainResume:
                      "--registry", str(tmp_path / "reg2")]) == 2
         output = capsys.readouterr().out
         assert "--lr-schedule" in output and "cannot be combined with --resume" in output
+        # The validation split shapes the trajectory, so it conflicts too.
+        assert main(["train", "--resume", snapshot, "--validation-split", "tail",
+                     "--registry", str(tmp_path / "reg3")]) == 2
+        output = capsys.readouterr().out
+        assert "--validation-split" in output
+
+    def test_resume_may_change_the_worker_count(self, tmp_path, capsys):
+        # Parallelism is an execution detail: a serial snapshot may continue
+        # under spawned gradient workers (and vice versa) on the same stream.
+        snapshot = str(tmp_path / "trainer.npz")
+        assert main(["train", *self._FLAGS, "--epochs", "2",
+                     "--checkpoint", snapshot,
+                     "--registry", str(tmp_path / "reg")]) == 0
+        capsys.readouterr()
+        assert main(["train", "--resume", snapshot, "--epochs", "3",
+                     "--num-workers", "2",
+                     "--registry", str(tmp_path / "reg2"),
+                     "--model-name", "resumed-parallel"]) == 0
+        output = capsys.readouterr().out
+        assert "Data-parallel: 2 spawned gradient workers per batch" in output
+        assert "Resuming from" in output
+
+    def test_resume_never_inherits_the_snapshot_worker_count(self, tmp_path,
+                                                             capsys):
+        # A snapshot written under --num-workers 2 resumes in-process unless
+        # the flag is passed again: the count is per-machine, not per-run.
+        snapshot = str(tmp_path / "trainer.npz")
+        assert main(["train", *self._FLAGS, "--epochs", "2",
+                     "--num-workers", "2", "--checkpoint", snapshot,
+                     "--registry", str(tmp_path / "reg")]) == 0
+        capsys.readouterr()
+        assert main(["train", "--resume", snapshot, "--epochs", "3",
+                     "--registry", str(tmp_path / "reg2"),
+                     "--model-name", "resumed-serial"]) == 0
+        output = capsys.readouterr().out
+        assert "Resuming from" in output
+        assert "Data-parallel" not in output
 
     def test_resume_rejects_snapshot_without_cli_metadata(self, tmp_path, capsys):
         import numpy as np

@@ -101,6 +101,77 @@ class TestSplitWindows:
             split_windows((np.zeros((4, 1)), np.zeros(3)), 0.2, rng)
         with pytest.raises(ValueError):
             split_windows((), 0.2, rng)
+        with pytest.raises(ValueError, match="split"):
+            split_windows((np.zeros((4, 1)),), 0.2, rng, split="head")
+
+
+class TestTailSplit:
+    def test_tail_holds_out_the_last_samples(self):
+        data = np.arange(20, dtype=np.float64)[:, None]
+        (train,), (val,) = split_windows((data,), 0.25,
+                                         np.random.default_rng(0), split="tail")
+        np.testing.assert_array_equal(train.ravel(), np.arange(15))
+        np.testing.assert_array_equal(val.ravel(), np.arange(15, 20))
+
+    def test_tail_split_never_consumes_the_rng(self):
+        rng = np.random.default_rng(3)
+        untouched = np.random.default_rng(3)
+        split_windows((np.zeros((10, 2)),), 0.3, rng, split="tail")
+        assert rng.integers(0, 1 << 30) == untouched.integers(0, 1 << 30)
+
+    def test_tail_split_accepts_rngless_calls(self):
+        # No randomness is needed, so None is a valid generator.
+        (train,), (val,) = split_windows((np.arange(10.0),), 0.2, None,
+                                         split="tail")
+        assert train.shape[0] == 8 and val.shape[0] == 2
+
+    def test_detector_tail_validation_uses_the_latest_windows(self):
+        # With a tail split and no max_train_windows subsampling, training on
+        # a series whose tail is shifted must change the val curve but the
+        # shared prefix keeps the same training stream length.
+        series = _series(length=220)
+        config = _small_config(validation_fraction=0.25,
+                               validation_split="tail",
+                               max_train_windows=None)
+        detector = ImDiffusionDetector(config)
+        detector.fit(series)
+        assert len(detector.val_losses) == config.epochs
+        assert all(np.isfinite(loss) for loss in detector.val_losses)
+
+    def test_config_rejects_bad_split(self):
+        with pytest.raises(ValueError, match="validation_split"):
+            _small_config(validation_split="head")
+
+    def test_tail_split_survives_max_train_windows_subsampling(self, monkeypatch):
+        # rng.choice returns an unsorted subset; under a tail split the
+        # detector must restore time order before splitting, or "the last
+        # windows" would be a random subset instead of the series tail.
+        import repro.core.detector as detector_module
+
+        captured = {}
+        real_split = detector_module.split_windows
+
+        def spy(arrays, fraction, rng, split="random"):
+            captured["windows"] = arrays[0]
+            return real_split(arrays, fraction, rng, split=split)
+
+        monkeypatch.setattr(detector_module, "split_windows", spy)
+        # Strictly increasing series: window start values encode time order.
+        series = np.arange(220, dtype=np.float64)[:, None] * np.ones((1, 2))
+        series += 0.01 * np.random.default_rng(0).standard_normal(series.shape)
+        config = _small_config(validation_fraction=0.25,
+                               validation_split="tail", max_train_windows=8)
+        ImDiffusionDetector(config).fit(series)
+        firsts = captured["windows"][:, 0, 0]
+        assert np.all(np.diff(firsts) > 0)
+
+    def test_baseline_subsample_is_time_ordered_under_tail(self):
+        random_order = LSTMADDetector(seed=0)._subsample_indices(100, 10)
+        tail_order = LSTMADDetector(seed=0, validation_split="tail") \
+            ._subsample_indices(100, 10)
+        # Same single draw off the same seed; the tail variant sorts it.
+        np.testing.assert_array_equal(np.sort(random_order), tail_order)
+        assert np.all(np.diff(tail_order) > 0)
 
 
 # ---------------------------------------------------------------------------
@@ -375,3 +446,35 @@ class TestRunnerRecordsValCurve:
         assert len(run.val_losses) == 2
         assert run.final_val_loss == run.val_losses[-1]
         assert run.train_epochs == 2
+
+    def test_evaluate_detector_applies_validation_overrides(self):
+        from repro.data import load_dataset
+
+        dataset = load_dataset("GCP", seed=0, scale=0.06)
+        # The factory itself trains without validation; the runner override
+        # switches every run to a 25% tail split.
+        summary = evaluate_detector(
+            lambda seed: ImDiffusionDetector(_small_config(epochs=2, seed=seed)),
+            dataset, num_runs=1, detector_name="ImDiffusion",
+            validation_fraction=0.25, validation_split="tail")
+        assert len(summary.runs[0].val_losses) == 2
+
+    def test_evaluate_detector_overrides_apply_to_baselines(self):
+        from repro.data import load_dataset
+
+        dataset = load_dataset("GCP", seed=0, scale=0.06)
+        summary = evaluate_detector(
+            lambda seed: LSTMADDetector(history=6, hidden_size=8, epochs=2,
+                                        max_train_samples=48, seed=seed),
+            dataset, num_runs=1, detector_name="LSTM-AD",
+            validation_fraction=0.25)
+        assert len(summary.runs[0].val_losses) == 2
+
+    def test_evaluate_detector_rejects_bad_fraction(self):
+        from repro.data import load_dataset
+
+        dataset = load_dataset("GCP", seed=0, scale=0.06)
+        with pytest.raises(ValueError, match="validation_fraction"):
+            evaluate_detector(
+                lambda seed: ImDiffusionDetector(_small_config(seed=seed)),
+                dataset, num_runs=1, validation_fraction=1.5)
