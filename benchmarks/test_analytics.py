@@ -1,0 +1,186 @@
+"""Analytics benchmark: incremental operators vs full recompute per poll.
+
+The analytics layer promises O(window)-amortized updates where a naive
+consumer would recompute every window function from scratch whenever it
+needs fresh outputs.  Two properties are validated and recorded:
+
+* streaming a 10k-point score stream through the incremental operator
+  pipeline is at least 5x faster than recomputing the reference pipeline
+  over the full history at every poll (the outputs are bitwise identical —
+  asserted, not assumed),
+* the per-append incremental update (operators + a composite alert policy)
+  stays within a fixed latency budget, independent of stream length.
+
+Every run appends its numbers to ``BENCH_analytics.json`` (path overridable
+via ``REPRO_BENCH_ANALYTICS_OUTPUT``) so CI can archive the trajectory.
+``REPRO_BENCH_ANALYTICS_POINTS`` shrinks the stream for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analytics import apply_pipeline, parse_pipeline, parse_policy
+
+from ._helpers import print_header, run_once
+
+POINTS = int(os.environ.get("REPRO_BENCH_ANALYTICS_POINTS", "10000"))
+OUTPUT = os.environ.get("REPRO_BENCH_ANALYTICS_OUTPUT", "BENCH_analytics.json")
+#: How often the naive consumer recomputes (every poll sees fresh points).
+RECOMPUTE_EVERY = int(os.environ.get("REPRO_BENCH_ANALYTICS_POLL", "512"))
+#: Required incremental-vs-recompute advantage.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_ANALYTICS_MIN_SPEEDUP", "5.0"))
+#: Per-append latency budget (milliseconds) of the incremental hot path.
+BUDGET_MS = float(os.environ.get("REPRO_BENCH_ANALYTICS_BUDGET_MS", "2.0"))
+
+PIPELINE = "mean:64,quantile:64:95,ewma:0.3"
+POLICY = ("score > 2.0 and (hysteresis(up=2.0, down=0.5) "
+          "or episode(threshold=2.0, min_len=2, gap=2))")
+
+
+def _scores(length: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    scores = np.abs(rng.standard_normal(length))
+    spikes = rng.choice(length, size=max(1, length // 50), replace=False)
+    scores[spikes] += rng.uniform(3.0, 10.0, spikes.shape[0])
+    return scores
+
+
+def _record(payload: dict) -> None:
+    """Append this run's numbers to the JSON artifact tracked by CI."""
+    history = []
+    if os.path.exists(OUTPUT):
+        try:
+            with open(OUTPUT) as handle:
+                history = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(payload)
+    with open(OUTPUT, "w") as handle:
+        json.dump(history, handle, indent=2)
+
+
+def test_incremental_vs_recompute_speedup(benchmark):
+    """Streaming updates must beat per-poll full recompute by >= MIN_SPEEDUP."""
+    scores = _scores(POINTS, seed=1)
+
+    def run():
+        # Incremental: every point streams through the stateful operators
+        # exactly once, regardless of how often outputs are consumed.
+        operators = parse_pipeline(PIPELINE)
+        started = time.perf_counter()
+        incremental = {op.describe(): np.empty(POINTS) for op in operators}
+        for op in operators:
+            op.reset()
+        for t in range(POINTS):
+            value = scores[t]
+            for op in operators:
+                incremental[op.describe()][t] = op.update(value)
+        incremental_seconds = max(time.perf_counter() - started, 1e-9)
+
+        # Naive: at every poll the consumer recomputes the reference over
+        # the whole history so far (the cost an offline SQL engine pays).
+        reference_ops = parse_pipeline(PIPELINE)
+        started = time.perf_counter()
+        recomputed = {}
+        for poll_end in range(RECOMPUTE_EVERY, POINTS + 1, RECOMPUTE_EVERY):
+            recomputed = apply_pipeline(reference_ops, scores[:poll_end],
+                                        engine="reference")
+        if POINTS % RECOMPUTE_EVERY:
+            recomputed = apply_pipeline(reference_ops, scores,
+                                        engine="reference")
+        recompute_seconds = max(time.perf_counter() - started, 1e-9)
+        return incremental, recomputed, incremental_seconds, recompute_seconds
+
+    incremental, recomputed, incremental_seconds, recompute_seconds = \
+        run_once(benchmark, run)
+    speedup = recompute_seconds / incremental_seconds
+
+    # Correctness first: the fast path must produce the bitwise-identical
+    # outputs the naive consumer ends up with.
+    for name, values in incremental.items():
+        assert np.array_equal(values, recomputed[name], equal_nan=True), name
+
+    polls = POINTS // RECOMPUTE_EVERY + (1 if POINTS % RECOMPUTE_EVERY else 0)
+    print_header(f"Analytics: incremental stream vs full recompute per poll "
+                 f"({POINTS} points, poll every {RECOMPUTE_EVERY})")
+    print(f"incremental      : {incremental_seconds * 1000:8.1f} ms "
+          f"({POINTS / incremental_seconds:10.0f} points/s)")
+    print(f"full recompute   : {recompute_seconds * 1000:8.1f} ms "
+          f"({polls} polls)")
+    print(f"speedup          : {speedup:8.1f}x")
+
+    _record({
+        "benchmark": "incremental_vs_recompute",
+        "points": POINTS,
+        "pipeline": PIPELINE,
+        "recompute_every": RECOMPUTE_EVERY,
+        "incremental_seconds": incremental_seconds,
+        "recompute_seconds": recompute_seconds,
+        "speedup": speedup,
+    })
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental pipeline is only {speedup:.1f}x faster than per-poll "
+        f"recompute (expected >= {MIN_SPEEDUP}x on {POINTS} points)")
+
+
+def test_per_append_latency_budget(benchmark):
+    """The full hot path (operators + policy) must stay under BUDGET_MS."""
+    scores = _scores(POINTS, seed=2)
+
+    def run():
+        operators = parse_pipeline(PIPELINE)
+        monitor = parse_policy(POLICY, name="bench").monitor("bench")
+        latencies = np.empty(POINTS)
+        events = 0
+        for t in range(POINTS):
+            value = float(scores[t])
+            started = time.perf_counter()
+            for op in operators:
+                op.update(value)
+            events += len(monitor.update(t, value))
+            latencies[t] = time.perf_counter() - started
+        return latencies, events
+
+    latencies, events = run_once(benchmark, run)
+    mean_ms = float(latencies.mean() * 1000)
+    p99_ms = float(np.percentile(latencies, 99) * 1000)
+    # Amortized-O(window) means the tail of the stream is no slower than the
+    # head: compare the mean latency of the two halves.
+    head_ms = float(latencies[:POINTS // 2].mean() * 1000)
+    tail_ms = float(latencies[POINTS // 2:].mean() * 1000)
+
+    print_header(f"Analytics: per-append latency "
+                 f"({POINTS} points, pipeline + composite policy)")
+    print(f"mean             : {mean_ms * 1000:8.1f} us")
+    print(f"p99              : {p99_ms * 1000:8.1f} us")
+    print(f"head/tail mean   : {head_ms * 1000:8.1f} / {tail_ms * 1000:8.1f} us")
+    print(f"alert edges      : {events:8d}")
+
+    _record({
+        "benchmark": "per_append_latency",
+        "points": POINTS,
+        "pipeline": PIPELINE,
+        "policy": POLICY,
+        "mean_ms": mean_ms,
+        "p99_ms": p99_ms,
+        "head_half_mean_ms": head_ms,
+        "tail_half_mean_ms": tail_ms,
+        "alert_edges": events,
+        "budget_ms": BUDGET_MS,
+    })
+
+    assert p99_ms <= BUDGET_MS, (
+        f"p99 per-append latency {p99_ms:.3f} ms exceeds the "
+        f"{BUDGET_MS:.1f} ms budget")
+    # Latency must not grow with stream age (no hidden O(n) state).
+    assert tail_ms <= 5.0 * max(head_ms, 1e-6), (
+        f"per-append latency grew with the stream: head {head_ms:.4f} ms "
+        f"vs tail {tail_ms:.4f} ms")

@@ -1,0 +1,103 @@
+"""Windowed score analytics and declarative alerting over score streams.
+
+Scores used to leave :class:`~repro.serving.DetectorService` as raw
+per-tenant floats.  This package is the layer between scoring and the user:
+
+* :mod:`~repro.analytics.store` — bounded, watermarked per-tenant score
+  history (:class:`ScoreStore`), fed on the serving hot path,
+* :mod:`~repro.analytics.operators` — SQL-window-function operators
+  (rolling mean/std/quantile, LAG/LEAD/delta, rank-over-window, EWMA), each
+  as an incremental O(window)-per-append form **and** a naive full-recompute
+  reference that agree bitwise,
+* :mod:`~repro.analytics.episodes` — sessionized anomaly episodes
+  (merge-within-gap, min-length), incremental and reference,
+* :mod:`~repro.analytics.policy` — the declarative alert-policy engine:
+  threshold / hysteresis / episode-length / quantile-exceedance rules
+  composable with ``and`` / ``or``, evaluated incrementally per appended
+  score, emitting edge-triggered :class:`AlertEvent`s,
+* :mod:`~repro.analytics.engine` — :class:`AnalyticsEngine`, the per-tenant
+  orchestrator the serving layer feeds,
+* :mod:`~repro.analytics.io` — JSONL capture/replay of score streams
+  (``repro serve --export-scores`` / ``repro query --from``).
+
+Quickstart::
+
+    from repro.analytics import AnalyticsEngine
+
+    engine = AnalyticsEngine(
+        history=4096,
+        policies=["score > 0.8 and episode(threshold=0.8, min_len=3, gap=2)"])
+    for index, (score, label) in enumerate(stream):
+        for event in engine.observe("tenant-0", index, score, label):
+            page_oncall(event)
+    print(engine.query("tenant-0", "mean:64,quantile:64:99"))
+"""
+
+from .engine import AnalyticsEngine
+from .episodes import Episode, EpisodeTracker, sessionize
+from .io import export_jsonl, load_jsonl, streams_to_store
+from .operators import (
+    EWMA,
+    OPERATOR_REGISTRY,
+    Delta,
+    Lag,
+    Lead,
+    RollingMean,
+    RollingQuantile,
+    RollingRank,
+    RollingStd,
+    StreamOperator,
+    apply_pipeline,
+    parse_operator,
+    parse_pipeline,
+)
+from .policy import (
+    AlertEvent,
+    AlertPolicy,
+    AlertRule,
+    AllOf,
+    AnyOf,
+    EpisodeRule,
+    HysteresisRule,
+    PolicyMonitor,
+    QuantileRule,
+    ThresholdRule,
+    parse_policy,
+)
+from .store import ScoreStore, ScoreStream
+
+__all__ = [
+    "AlertEvent",
+    "AlertPolicy",
+    "AlertRule",
+    "AllOf",
+    "AnalyticsEngine",
+    "AnyOf",
+    "Delta",
+    "EWMA",
+    "Episode",
+    "EpisodeRule",
+    "EpisodeTracker",
+    "HysteresisRule",
+    "Lag",
+    "Lead",
+    "OPERATOR_REGISTRY",
+    "PolicyMonitor",
+    "QuantileRule",
+    "RollingMean",
+    "RollingQuantile",
+    "RollingRank",
+    "RollingStd",
+    "ScoreStore",
+    "ScoreStream",
+    "StreamOperator",
+    "ThresholdRule",
+    "apply_pipeline",
+    "export_jsonl",
+    "load_jsonl",
+    "parse_operator",
+    "parse_pipeline",
+    "parse_policy",
+    "sessionize",
+    "streams_to_store",
+]

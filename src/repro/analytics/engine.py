@@ -1,0 +1,153 @@
+"""The analytics engine: score store + episodes + alert policies, per tenant.
+
+:class:`AnalyticsEngine` is the single object the serving layer (and the
+online evaluation harness) feeds on the hot path.  Per appended block of
+scored points it
+
+* appends scores/labels to the bounded per-tenant :class:`ScoreStore`
+  (advancing the tenant's watermark),
+* advances the tenant's sessionized :class:`EpisodeTracker` over the
+  anomaly labels,
+* runs every configured :class:`AlertPolicy` monitor incrementally over the
+  scores, collecting edge-triggered :class:`AlertEvent`s.
+
+All state is per tenant; policies are shared specifications instantiated
+per tenant via :meth:`AlertPolicy.monitor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .episodes import Episode, EpisodeTracker
+from .operators import StreamOperator, apply_pipeline, parse_pipeline
+from .policy import AlertEvent, AlertPolicy, PolicyMonitor, parse_policy
+from .store import ScoreStore, ScoreStream
+
+__all__ = ["AnalyticsEngine"]
+
+
+class AnalyticsEngine:
+    """Windowed analytics and alerting over per-tenant score streams.
+
+    Parameters
+    ----------
+    history:
+        Per-tenant score-store retention (rows).
+    policies:
+        Alert policies to evaluate incrementally; strings are parsed with
+        :func:`repro.analytics.policy.parse_policy`.
+    episode_gap / episode_min_length:
+        Sessionization knobs of the label-driven episode tracker: quiet gaps
+        of up to ``episode_gap`` points merge into the surrounding episode,
+        and episodes spanning fewer than ``episode_min_length`` points are
+        dropped.
+    max_events:
+        Bound on the retained (undrained) alert-event list.
+    """
+
+    def __init__(self, history: int = 4096,
+                 policies: Sequence[Union[AlertPolicy, str]] = (),
+                 episode_gap: int = 2, episode_min_length: int = 1,
+                 max_events: int = 4096) -> None:
+        self.store = ScoreStore(history)
+        self.policies: List[AlertPolicy] = [
+            parse_policy(p, name=f"policy-{i}") if isinstance(p, str) else p
+            for i, p in enumerate(policies)]
+        self.episode_gap = int(episode_gap)
+        self.episode_min_length = int(episode_min_length)
+        self.max_events = int(max_events)
+        self.events: List[AlertEvent] = []
+        self.events_dropped = 0
+        self._monitors: Dict[str, List[PolicyMonitor]] = {}
+        self._trackers: Dict[str, EpisodeTracker] = {}
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str) -> None:
+        """Idempotent; :meth:`observe_block` auto-registers."""
+        self.store.register_tenant(tenant)
+        self._monitors.setdefault(
+            tenant, [policy.monitor(tenant) for policy in self.policies])
+        self._trackers.setdefault(
+            tenant, EpisodeTracker(merge_gap=self.episode_gap,
+                                   min_length=self.episode_min_length))
+
+    def tenants(self) -> List[str]:
+        return self.store.tenants()
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def observe_block(self, tenant: str, start: int, scores: np.ndarray,
+                      labels: Optional[np.ndarray] = None) -> List[AlertEvent]:
+        """Consume one contiguous block of freshly scored points.
+
+        ``start`` must be the tenant's watermark (blocks arrive in order,
+        exactly once).  Returns the alert events this block produced; the
+        same events are also queued on :attr:`events` until drained.
+        """
+        self.register_tenant(tenant)
+        scores = np.atleast_1d(np.asarray(scores, dtype=np.float64))
+        self.store.append(tenant, start, scores, labels)
+
+        tracker = self._trackers[tenant]
+        if labels is not None:
+            label_flags = np.atleast_1d(np.asarray(labels)) != 0
+            for offset, flag in enumerate(label_flags):
+                tracker.update(start + offset, bool(flag))
+
+        fresh: List[AlertEvent] = []
+        for monitor in self._monitors[tenant]:
+            for offset, score in enumerate(scores):
+                fresh.extend(monitor.update(start + offset, float(score)))
+        if fresh:
+            # Events interleave per policy; present them in stream order.
+            fresh.sort(key=lambda event: event.index)
+            self.events.extend(fresh)
+            overflow = len(self.events) - self.max_events
+            if overflow > 0:
+                del self.events[:overflow]
+                self.events_dropped += overflow
+        return fresh
+
+    def observe(self, tenant: str, index: int, score: float,
+                label: Optional[int] = None) -> List[AlertEvent]:
+        """Single-point convenience wrapper over :meth:`observe_block`."""
+        labels = None if label is None else np.asarray([label])
+        return self.observe_block(tenant, index, np.asarray([score]), labels)
+
+    def drain_events(self) -> List[AlertEvent]:
+        """Return and clear the queued alert events."""
+        events, self.events = self.events, []
+        return events
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def watermark(self, tenant: str) -> int:
+        return self.store.watermark(tenant)
+
+    def episodes(self, tenant: str, include_open: bool = True) -> List[Episode]:
+        """Sessionized anomaly episodes of one tenant (labels seen so far)."""
+        self.register_tenant(tenant)
+        return self._trackers[tenant].all_episodes(include_open=include_open)
+
+    def active_policies(self, tenant: str) -> List[str]:
+        """Names of the policies currently in the fired state for a tenant."""
+        return [monitor.policy.name
+                for monitor in self._monitors.get(tenant, [])
+                if monitor.active]
+
+    def view(self, tenant: str) -> ScoreStream:
+        return self.store.view(tenant)
+
+    def query(self, tenant: str,
+              pipeline: Union[str, Sequence[StreamOperator]],
+              engine: str = "incremental") -> Dict[str, np.ndarray]:
+        """Run an operator pipeline over a tenant's retained score history."""
+        operators = parse_pipeline(pipeline) if isinstance(pipeline, str) else pipeline
+        return apply_pipeline(operators, self.store.view(tenant).scores, engine=engine)

@@ -1,0 +1,152 @@
+"""Sessionized anomaly episodes over boolean streams.
+
+A production alert is rarely a single flagged timestamp: operators think in
+*episodes* — contiguous anomalous spans, with short quiet gaps merged into
+the surrounding span (the sessionization semantics of streaming SQL's
+``SESSION`` windows).  This module provides the two required forms of that
+computation:
+
+* :func:`sessionize` — the naive reference: a pure function from a full
+  boolean array to the episode list,
+* :class:`EpisodeTracker` — the incremental form: one :meth:`update` per
+  appended flag, emitting episodes as soon as they are definitively closed
+  (the quiet gap exceeded ``merge_gap``), with the still-open episode
+  queryable at any time.
+
+Feeding a stream through the tracker and calling :meth:`EpisodeTracker.finish`
+yields exactly the :func:`sessionize` output (property-tested on random
+streams in ``tests/analytics/test_episodes.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Episode", "sessionize", "EpisodeTracker"]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One merged anomalous span ``[start, end)`` of a stream.
+
+    ``end`` is one past the last anomalous index of the span; gaps of up to
+    ``merge_gap`` quiet points *inside* the span are counted in ``length``
+    but not in ``anomalous_points``.
+    """
+
+    start: int
+    end: int
+    anomalous_points: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        return (f"episode [{self.start}, {self.end}) "
+                f"length={self.length} anomalous={self.anomalous_points}")
+
+
+def sessionize(flags: Sequence[bool], merge_gap: int = 0, min_length: int = 1,
+               offset: int = 0) -> List[Episode]:
+    """Naive full recompute: merge anomalous runs separated by small gaps.
+
+    Runs of ``True`` separated by at most ``merge_gap`` ``False`` points are
+    merged into one episode; episodes spanning fewer than ``min_length``
+    points are dropped.  ``offset`` shifts the reported indices (the absolute
+    index of ``flags[0]``).
+    """
+    if merge_gap < 0:
+        raise ValueError("merge_gap must be non-negative")
+    if min_length < 1:
+        raise ValueError("min_length must be positive")
+    flags = np.asarray(flags, dtype=bool)
+    episodes: List[Episode] = []
+    start: Optional[int] = None
+    last_true = -1
+    count = 0
+    for i, flag in enumerate(flags):
+        if flag:
+            if start is None or i - last_true - 1 > merge_gap:
+                if start is not None:
+                    episodes.append(Episode(start + offset, last_true + 1 + offset, count))
+                start, count = i, 0
+            last_true = i
+            count += 1
+    if start is not None:
+        episodes.append(Episode(start + offset, last_true + 1 + offset, count))
+    return [e for e in episodes if e.length >= min_length]
+
+
+class EpisodeTracker:
+    """Incremental sessionization: O(1) per appended flag.
+
+    ``update(index, flag)`` consumes the stream in index order (indices must
+    be strictly increasing but need not be contiguous — missing indices are
+    treated as quiet).  Closed episodes that satisfy ``min_length`` are
+    returned by the ``update`` that closes them; :attr:`open_episode` exposes
+    the span still under construction, and :meth:`finish` closes it.
+    """
+
+    def __init__(self, merge_gap: int = 0, min_length: int = 1) -> None:
+        if merge_gap < 0:
+            raise ValueError("merge_gap must be non-negative")
+        if min_length < 1:
+            raise ValueError("min_length must be positive")
+        self.merge_gap = int(merge_gap)
+        self.min_length = int(min_length)
+        self.episodes: List[Episode] = []
+        self._start: Optional[int] = None
+        self._last_true = -1
+        self._count = 0
+        self._last_index = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def open_episode(self) -> Optional[Episode]:
+        """The not-yet-closed episode, regardless of ``min_length``."""
+        if self._start is None:
+            return None
+        return Episode(self._start, self._last_true + 1, self._count)
+
+    def _close(self) -> List[Episode]:
+        closed: List[Episode] = []
+        if self._start is not None:
+            episode = Episode(self._start, self._last_true + 1, self._count)
+            if episode.length >= self.min_length:
+                self.episodes.append(episode)
+                closed.append(episode)
+        self._start, self._count = None, 0
+        return closed
+
+    def update(self, index: int, flag: bool) -> List[Episode]:
+        """Consume one flag; returns the episodes this update closed (0 or 1)."""
+        if index <= self._last_index:
+            raise ValueError(
+                f"indices must be strictly increasing; got {index} after {self._last_index}")
+        self._last_index = index
+        closed: List[Episode] = []
+        if self._start is not None and index - self._last_true - 1 > self.merge_gap:
+            closed = self._close()
+        if flag:
+            if self._start is None:
+                self._start = index
+            self._last_true = index
+            self._count += 1
+        return closed
+
+    def finish(self) -> List[Episode]:
+        """Close the open episode (end of stream); returns what it closed."""
+        return self._close()
+
+    def all_episodes(self, include_open: bool = True) -> List[Episode]:
+        """Closed episodes plus (optionally) the open one if long enough."""
+        episodes = list(self.episodes)
+        if include_open:
+            open_episode = self.open_episode
+            if open_episode is not None and open_episode.length >= self.min_length:
+                episodes.append(open_episode)
+        return episodes

@@ -1,0 +1,108 @@
+"""JSONL capture and replay of score streams.
+
+One JSON object per line, one line per scored point::
+
+    {"tenant": "tenant-0", "index": 17, "score": 0.4031, "label": 0}
+
+``label`` is omitted for points whose label was never decided.  The format
+is append-friendly (a serving process can stream it out line by line) and
+order-tolerant on load (rows are re-sorted per tenant), but each tenant's
+index sequence must be contiguous once sorted — the streams round-trip
+through the bounded :class:`~repro.analytics.store.ScoreStore` watermark
+contract.  ``repro serve --export-scores`` writes this format and
+``repro query --from`` reads it back (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .store import ScoreStore, ScoreStream
+
+__all__ = ["export_jsonl", "load_jsonl", "streams_to_store"]
+
+
+def export_jsonl(path: Union[str, "os.PathLike[str]"],
+                 streams: Union[ScoreStore, Dict[str, ScoreStream]]) -> int:
+    """Write every retained point of every tenant; returns the line count.
+
+    Accepts either a :class:`ScoreStore` (exports each tenant's retained
+    view) or an already-materialised ``{tenant: ScoreStream}`` mapping.
+    """
+    if isinstance(streams, ScoreStore):
+        streams = {tenant: streams.view(tenant) for tenant in streams.tenants()}
+    lines = 0
+    with open(path, "w") as handle:
+        for tenant in sorted(streams):
+            stream = streams[tenant]
+            for offset in range(stream.scores.shape[0]):
+                row = {"tenant": tenant,
+                       "index": int(stream.start + offset),
+                       "score": float(stream.scores[offset])}
+                label = stream.labels[offset]
+                if not np.isnan(label):
+                    row["label"] = int(label)
+                handle.write(json.dumps(row) + "\n")
+                lines += 1
+    return lines
+
+
+def load_jsonl(path: Union[str, "os.PathLike[str]"]) -> Dict[str, ScoreStream]:
+    """Read a score-stream capture back into ``{tenant: ScoreStream}``."""
+    rows: Dict[str, List[dict]] = {}
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                tenant, index = row["tenant"], int(row["index"])
+                score = float(row["score"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_number}: bad score row: {exc}") from exc
+            rows.setdefault(tenant, []).append(
+                {"index": index, "score": score, "label": row.get("label")})
+
+    streams: Dict[str, ScoreStream] = {}
+    for tenant, tenant_rows in rows.items():
+        tenant_rows.sort(key=lambda r: r["index"])
+        indices = [r["index"] for r in tenant_rows]
+        start = indices[0]
+        if indices != list(range(start, start + len(indices))):
+            raise ValueError(
+                f"tenant {tenant!r} has a non-contiguous or duplicated index "
+                f"sequence in {path}")
+        scores = np.array([r["score"] for r in tenant_rows], dtype=np.float64)
+        labels = np.array(
+            [np.nan if r["label"] is None else float(r["label"]) for r in tenant_rows],
+            dtype=np.float64)
+        streams[tenant] = ScoreStream(tenant=tenant, start=start,
+                                      scores=scores, labels=labels)
+    return streams
+
+
+def streams_to_store(streams: Dict[str, ScoreStream],
+                     history: int = 0) -> ScoreStore:
+    """Replay loaded streams into a :class:`ScoreStore`.
+
+    ``history=0`` sizes the store to hold every loaded point (no eviction on
+    replay); a positive value bounds retention like a live store would.
+    Streams whose ``start`` is not 0 replay with the same absolute indices:
+    the pre-capture prefix counts as evicted.
+    """
+    if history <= 0:
+        history = max((s.end for s in streams.values()), default=1) or 1
+    store = ScoreStore(history)
+    for tenant in sorted(streams):
+        stream = streams[tenant]
+        store.register_tenant(tenant)
+        # Re-establish the absolute index space: rows before the capture
+        # start were never exported, so they replay as a skipped prefix.
+        store.skip_to(tenant, stream.start)
+        store.append(tenant, stream.start, stream.scores, stream.labels)
+    return store

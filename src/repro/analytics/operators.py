@@ -1,0 +1,410 @@
+"""SQL-window-function operators over score streams.
+
+Every operator exists in two forms that are required to agree **bitwise**:
+
+* :meth:`StreamOperator.update` — the *incremental* form.  One call per
+  appended value; amortised cost is O(window) (constant in the stream
+  length), because state is a bounded ring of the trailing window rather
+  than the full history.
+* :meth:`StreamOperator.reference` — the *naive full-recompute* form.  A
+  pure function of the whole stream that rebuilds the entire output array
+  from scratch, the way an offline SQL engine would evaluate
+  ``f(x) OVER (ROWS BETWEEN w-1 PRECEDING AND CURRENT ROW)``.
+
+Bitwise agreement is structural, not approximate: the incremental form
+applies *the same numpy reduction to the same values in the same order* as
+the reference applies to the trailing slice, so no float-drift tolerance is
+needed anywhere (the property tests in ``tests/analytics`` assert exact
+equality on randomized streams).  This mirrors the incremental-vs-recompute
+contract of :class:`repro.serving.IncrementalScorer`.
+
+Warm-up semantics follow SQL window frames: aggregates (``mean``, ``std``,
+``quantile``, ``rank``) evaluate over however many rows are available, while
+offset operators (``lag``, ``lead``, ``delta``) emit NaN where the offset
+row does not exist.  NaN *inputs* propagate through aggregates exactly as
+numpy propagates them over the corresponding slice.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "StreamOperator",
+    "RollingMean",
+    "RollingStd",
+    "RollingQuantile",
+    "Lag",
+    "Lead",
+    "Delta",
+    "RollingRank",
+    "EWMA",
+    "OPERATOR_REGISTRY",
+    "parse_operator",
+    "parse_pipeline",
+    "apply_pipeline",
+]
+
+
+class StreamOperator:
+    """One windowed operator over a stream of floats.
+
+    Subclasses implement :meth:`update` (incremental) and :meth:`reference`
+    (naive full recompute).  ``delay`` is the number of rows by which the
+    incremental outputs lag the inputs: causal operators have ``delay = 0``
+    and ``update`` returns the output for the row just pushed; ``lead(k)``
+    has ``delay = k`` and ``update`` returns the output for the row ``k``
+    positions back (with :meth:`finish` supplying the trailing outputs once
+    the stream ends).  Only ``delay == 0`` operators may drive the
+    incremental alert engine.
+    """
+
+    name: str = "operator"
+    delay: int = 0
+
+    def update(self, value: float) -> float:
+        raise NotImplementedError
+
+    def finish(self) -> List[float]:
+        """Outputs for rows still pending when the stream ends (delay > 0)."""
+        return []
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def clone(self) -> "StreamOperator":
+        """A fresh instance with the same parameters and no state."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    # ------------------------------------------------------------------
+    def apply(self, values: Sequence[float]) -> np.ndarray:
+        """Run the incremental form over a whole stream (resets first)."""
+        self.reset()
+        outs = [self.update(float(v)) for v in np.asarray(values, dtype=np.float64)]
+        outs.extend(self.finish())
+        return np.asarray(outs[self.delay:], dtype=np.float64)
+
+    def reference(self, values: Sequence[float]) -> np.ndarray:
+        """Naive full recompute of the whole output array."""
+        raise NotImplementedError
+
+
+class _TrailingWindowOperator(StreamOperator):
+    """Base for aggregates over the trailing ``window`` rows (current included).
+
+    The incremental state is a bounded deque of the trailing rows; each
+    update materialises it as a contiguous float64 array — chronologically
+    ordered, exactly like the slice the reference takes — and applies the
+    subclass's reduction.  Same values, same order, same reduction ⇒ bitwise
+    equality with the reference.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self._buf: deque = deque(maxlen=self.window)
+
+    def _reduce(self, frame: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def update(self, value: float) -> float:
+        self._buf.append(float(value))
+        return float(self._reduce(np.asarray(self._buf, dtype=np.float64)))
+
+    def reset(self) -> None:
+        self._buf.clear()
+
+    def clone(self) -> "StreamOperator":
+        return type(self)(self.window)
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.window}"
+
+    def reference(self, values: Sequence[float]) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty(values.shape[0], dtype=np.float64)
+        for t in range(values.shape[0]):
+            out[t] = self._reduce(values[max(0, t - self.window + 1):t + 1])
+        return out
+
+
+class RollingMean(_TrailingWindowOperator):
+    """``AVG(score) OVER (ROWS window-1 PRECEDING)``."""
+
+    name = "mean"
+
+    def _reduce(self, frame: np.ndarray) -> float:
+        return float(np.mean(frame))
+
+
+class RollingStd(_TrailingWindowOperator):
+    """Population standard deviation over the trailing window."""
+
+    name = "std"
+
+    def _reduce(self, frame: np.ndarray) -> float:
+        return float(np.std(frame))
+
+
+class RollingQuantile(_TrailingWindowOperator):
+    """``q``-th percentile (0-100) over the trailing window."""
+
+    name = "quantile"
+
+    def __init__(self, window: int, q: float = 50.0) -> None:
+        super().__init__(window)
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must lie in [0, 100]")
+        self.q = float(q)
+
+    def _reduce(self, frame: np.ndarray) -> float:
+        return float(np.percentile(frame, self.q))
+
+    def clone(self) -> "StreamOperator":
+        return RollingQuantile(self.window, self.q)
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.window}:{self.q:g}"
+
+
+class RollingRank(_TrailingWindowOperator):
+    """1-based rank of the current row within the trailing window.
+
+    ``RANK() OVER (ORDER BY score ROWS window-1 PRECEDING)`` with ties
+    counted at-or-below: the output is how many window rows (the current one
+    included) are ``<=`` the current value.  A NaN current row ranks NaN.
+    """
+
+    name = "rank"
+
+    def _reduce(self, frame: np.ndarray) -> float:
+        current = frame[-1]
+        if np.isnan(current):
+            return float("nan")
+        return float(np.sum(frame <= current))
+
+
+class Lag(StreamOperator):
+    """``LAG(score, k)``: the value ``k`` rows back; NaN during warm-up."""
+
+    name = "lag"
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 0:
+            raise ValueError("lag offset must be non-negative")
+        self.k = int(k)
+        self._buf: deque = deque(maxlen=self.k + 1)
+
+    def update(self, value: float) -> float:
+        self._buf.append(float(value))
+        if len(self._buf) <= self.k:
+            return float("nan")
+        return self._buf[0]
+
+    def reset(self) -> None:
+        self._buf.clear()
+
+    def clone(self) -> "StreamOperator":
+        return Lag(self.k)
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.k}"
+
+    def reference(self, values: Sequence[float]) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape[0], np.nan)
+        if self.k == 0:
+            return values.copy()
+        out[self.k:] = values[:-self.k or None]
+        return out
+
+
+class Lead(StreamOperator):
+    """``LEAD(score, k)``: the value ``k`` rows ahead; NaN for the last ``k``.
+
+    LEAD looks into the future, so the incremental form is *delayed*: the
+    output for row ``t`` only becomes known when row ``t + k`` arrives
+    (``delay = k``), and :meth:`finish` emits the trailing NaNs.  It is a
+    pipeline/query operator, not an alerting one.
+    """
+
+    name = "lead"
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 0:
+            raise ValueError("lead offset must be non-negative")
+        self.k = int(k)
+        self.delay = self.k
+
+    def update(self, value: float) -> float:
+        # The arriving value *is* LEAD(k) of the row `k` positions back.
+        return float(value)
+
+    def finish(self) -> List[float]:
+        return [float("nan")] * self.k
+
+    def reset(self) -> None:
+        pass
+
+    def clone(self) -> "StreamOperator":
+        return Lead(self.k)
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.k}"
+
+    def reference(self, values: Sequence[float]) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape[0], np.nan)
+        if self.k == 0:
+            return values.copy()
+        out[:-self.k] = values[self.k:]
+        return out
+
+
+class Delta(StreamOperator):
+    """``score - LAG(score, k)``: the k-step difference; NaN during warm-up."""
+
+    name = "delta"
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError("delta offset must be positive")
+        self.k = int(k)
+        self._buf: deque = deque(maxlen=self.k + 1)
+
+    def update(self, value: float) -> float:
+        self._buf.append(float(value))
+        if len(self._buf) <= self.k:
+            return float("nan")
+        return self._buf[-1] - self._buf[0]
+
+    def reset(self) -> None:
+        self._buf.clear()
+
+    def clone(self) -> "StreamOperator":
+        return Delta(self.k)
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.k}"
+
+    def reference(self, values: Sequence[float]) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(values.shape[0], np.nan)
+        out[self.k:] = values[self.k:] - values[:-self.k]
+        return out
+
+
+class EWMA(StreamOperator):
+    """Exponentially weighted moving average: ``y = (1-a)*y + a*x``.
+
+    The incremental form is genuinely O(1) per update.  The reference form
+    replays the same recursion from the start of the stream, so agreement is
+    bitwise by construction.  ``y_0 = x_0`` (no zero-bias warm-up).
+    """
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self.alpha = float(alpha)
+        self._value: float = float("nan")
+        self._seen = False
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        if not self._seen:
+            self._value = value
+            self._seen = True
+        else:
+            self._value = (1.0 - self.alpha) * self._value + self.alpha * value
+        return self._value
+
+    def reset(self) -> None:
+        self._value = float("nan")
+        self._seen = False
+
+    def clone(self) -> "StreamOperator":
+        return EWMA(self.alpha)
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.alpha:g}"
+
+    def reference(self, values: Sequence[float]) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty(values.shape[0], dtype=np.float64)
+        current = float("nan")
+        for t, value in enumerate(values):
+            value = float(value)
+            current = value if t == 0 else (1.0 - self.alpha) * current + self.alpha * value
+            out[t] = current
+        return out
+
+
+# ----------------------------------------------------------------------
+# Spec parsing: `name[:arg[:arg]]`, comma-separated pipelines.
+# ----------------------------------------------------------------------
+
+def _int_arg(spec: str, args: List[str], default: int) -> int:
+    if len(args) > 1:
+        raise ValueError(f"operator spec {spec!r} takes at most one argument")
+    return int(args[0]) if args else default
+
+
+OPERATOR_REGISTRY: Dict[str, Callable[[str, List[str]], StreamOperator]] = {
+    "mean": lambda spec, args: RollingMean(_int_arg(spec, args, 32)),
+    "std": lambda spec, args: RollingStd(_int_arg(spec, args, 32)),
+    "rank": lambda spec, args: RollingRank(_int_arg(spec, args, 32)),
+    "quantile": lambda spec, args: RollingQuantile(
+        int(args[0]) if args else 32,
+        float(args[1]) if len(args) > 1 else 50.0),
+    "lag": lambda spec, args: Lag(_int_arg(spec, args, 1)),
+    "lead": lambda spec, args: Lead(_int_arg(spec, args, 1)),
+    "delta": lambda spec, args: Delta(_int_arg(spec, args, 1)),
+    "ewma": lambda spec, args: EWMA(float(args[0]) if args else 0.2),
+}
+
+
+def parse_operator(spec: str) -> StreamOperator:
+    """Build one operator from ``name[:arg[:arg]]``, e.g. ``quantile:64:95``."""
+    parts = [part.strip() for part in spec.strip().split(":")]
+    name, args = parts[0], [p for p in parts[1:] if p]
+    if name not in OPERATOR_REGISTRY:
+        raise ValueError(
+            f"unknown operator {name!r}; available: {', '.join(sorted(OPERATOR_REGISTRY))}")
+    try:
+        return OPERATOR_REGISTRY[name](spec, args)
+    except (TypeError, ValueError, IndexError) as exc:
+        raise ValueError(f"bad operator spec {spec!r}: {exc}") from exc
+
+
+def parse_pipeline(spec: str) -> List[StreamOperator]:
+    """Parse a comma-separated operator pipeline, e.g. ``mean:64,ewma:0.3``."""
+    operators = [parse_operator(part) for part in spec.split(",") if part.strip()]
+    if not operators:
+        raise ValueError("empty operator pipeline")
+    return operators
+
+
+def apply_pipeline(operators: Sequence[StreamOperator], values: Sequence[float],
+                   engine: str = "incremental") -> Dict[str, np.ndarray]:
+    """Evaluate each operator over the stream (operators run side by side).
+
+    ``engine`` selects the implementation: ``"incremental"`` streams every
+    value through :meth:`StreamOperator.update`; ``"reference"`` runs the
+    naive full recompute.  Both return ``{described_name: outputs}``; the two
+    engines agree bitwise (see ``tests/analytics/test_operators.py``).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if engine == "incremental":
+        return {op.describe(): op.apply(values) for op in operators}
+    if engine == "reference":
+        return {op.describe(): op.reference(values) for op in operators}
+    raise ValueError(f"unknown engine {engine!r}; use 'incremental' or 'reference'")

@@ -1,0 +1,561 @@
+"""Declarative alert policies over score streams.
+
+A policy is a boolean expression over stateful *rules*, evaluated
+incrementally — O(rule-window) per appended score — with alerts emitted on
+**edges**: an :class:`AlertEvent` with ``kind="fired"`` when the expression
+turns true and one with ``kind="resolved"`` when it turns false again.
+
+Rules (the atoms of the grammar)::
+
+    score > 0.8                       -- plain threshold (also >=, <, <=)
+    hysteresis(up=0.8, down=0.4)      -- fires above `up`, resolves below `down`
+    episode(threshold=0.8, min_len=3, gap=2)
+                                      -- a sessionized anomalous episode
+                                         (quiet gaps <= `gap` merged) has
+                                         reached span `min_len`
+    quantile(q=99, window=128, mult=1.0)
+                                      -- score exceeds `mult` x the rolling
+                                         `q`-th percentile of the previous
+                                         `window` scores (inactive during
+                                         warm-up)
+
+composable with ``and`` / ``or`` and parentheses::
+
+    score > 0.5 and (episode(threshold=0.5, min_len=3) or quantile(q=99, window=64))
+
+Every rule also has a naive reference evaluation (:meth:`AlertRule.reference`)
+that recomputes the activity series from the full stream, mirroring the
+incremental-vs-recompute contract of the operator library; the property
+tests assert agreement on random streams.
+
+Policies are *specifications*: one parsed policy can monitor many tenants,
+each through its own :meth:`AlertPolicy.monitor` (rules are stateful, so
+every tenant gets fresh clones).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .episodes import EpisodeTracker, sessionize
+from .operators import RollingQuantile
+
+__all__ = [
+    "AlertEvent",
+    "AlertRule",
+    "ThresholdRule",
+    "HysteresisRule",
+    "EpisodeRule",
+    "QuantileRule",
+    "AllOf",
+    "AnyOf",
+    "AlertPolicy",
+    "PolicyMonitor",
+    "parse_policy",
+]
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One policy edge on one tenant's stream."""
+
+    tenant: str
+    index: int           # absolute stream index at which the edge occurred
+    policy: str          # the policy's name
+    kind: str            # "fired" | "resolved"
+    score: float         # the score that caused the edge
+    detail: str = ""     # human-readable rule description
+
+    def describe(self) -> str:
+        return (f"[{self.tenant}] {self.kind} {self.policy!r} at t={self.index} "
+                f"(score {self.score:.4f})")
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+class AlertRule:
+    """One stateful boolean condition over a score stream.
+
+    ``update`` must be called exactly once per appended score, in index
+    order, for *every* rule of a policy (combinators never short-circuit —
+    rules carry state that must see the whole stream).
+    """
+
+    def update(self, index: int, score: float) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def clone(self) -> "AlertRule":
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        """Naive full recompute of the activity series over a whole stream."""
+        raise NotImplementedError
+
+
+_COMPARATORS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+class ThresholdRule(AlertRule):
+    """``score <cmp> threshold`` — the stateless atom."""
+
+    def __init__(self, threshold: float, comparator: str = ">") -> None:
+        if comparator not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {comparator!r}")
+        self.threshold = float(threshold)
+        self.comparator = comparator
+
+    def update(self, index: int, score: float) -> bool:
+        return bool(_COMPARATORS[self.comparator](score, self.threshold))
+
+    def reset(self) -> None:
+        pass
+
+    def clone(self) -> "AlertRule":
+        return ThresholdRule(self.threshold, self.comparator)
+
+    def describe(self) -> str:
+        return f"score {self.comparator} {self.threshold:g}"
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        return _COMPARATORS[self.comparator](scores, self.threshold)
+
+
+class HysteresisRule(AlertRule):
+    """Two-threshold flap damping: on above ``up``, off below ``down``."""
+
+    def __init__(self, up: float, down: float) -> None:
+        if down > up:
+            raise ValueError("hysteresis needs down <= up")
+        self.up = float(up)
+        self.down = float(down)
+        self._active = False
+
+    def update(self, index: int, score: float) -> bool:
+        if self._active:
+            if score < self.down:
+                self._active = False
+        elif score > self.up:
+            self._active = True
+        return self._active
+
+    def reset(self) -> None:
+        self._active = False
+
+    def clone(self) -> "AlertRule":
+        return HysteresisRule(self.up, self.down)
+
+    def describe(self) -> str:
+        return f"hysteresis(up={self.up:g}, down={self.down:g})"
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        out = np.zeros(scores.shape[0], dtype=bool)
+        active = False
+        for t, score in enumerate(scores):
+            if active:
+                if score < self.down:
+                    active = False
+            elif score > self.up:
+                active = True
+            out[t] = active
+        return out
+
+
+class EpisodeRule(AlertRule):
+    """Active while a sessionized anomalous episode has reached ``min_len``.
+
+    Points with ``score > threshold`` are anomalous; quiet gaps of up to
+    ``gap`` points merge into the surrounding episode (during a merged gap
+    the rule stays active — the incident is still open).  The rule turns
+    inactive once the gap since the last anomalous point exceeds ``gap``.
+    """
+
+    def __init__(self, threshold: float, min_len: int = 1, gap: int = 0) -> None:
+        if min_len < 1:
+            raise ValueError("min_len must be positive")
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        self.threshold = float(threshold)
+        self.min_len = int(min_len)
+        self.gap = int(gap)
+        self._tracker = EpisodeTracker(merge_gap=gap, min_length=min_len)
+        self._position = 0
+
+    def update(self, index: int, score: float) -> bool:
+        self._tracker.update(self._position, bool(score > self.threshold))
+        self._position += 1
+        open_episode = self._tracker.open_episode
+        if open_episode is None:
+            return False
+        # Still within merge range of the last anomalous point?
+        if self._position - open_episode.end > self.gap:
+            return False
+        return open_episode.length >= self.min_len
+
+    def reset(self) -> None:
+        self._tracker = EpisodeTracker(merge_gap=self.gap, min_length=self.min_len)
+        self._position = 0
+
+    def clone(self) -> "AlertRule":
+        return EpisodeRule(self.threshold, self.min_len, self.gap)
+
+    def describe(self) -> str:
+        return (f"episode(threshold={self.threshold:g}, "
+                f"min_len={self.min_len}, gap={self.gap})")
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        flags = scores > self.threshold
+        out = np.zeros(scores.shape[0], dtype=bool)
+        for t in range(scores.shape[0]):
+            # Full recompute: sessionize the prefix, look at its last episode.
+            episodes = sessionize(flags[:t + 1], merge_gap=self.gap, min_length=1)
+            if not episodes:
+                continue
+            last = episodes[-1]
+            out[t] = (t + 1 - last.end <= self.gap) and last.length >= self.min_len
+        return out
+
+
+class QuantileRule(AlertRule):
+    """Score exceeds ``mult`` x the rolling ``q``-percentile of prior scores.
+
+    The baseline quantile is computed over the *previous* ``window`` scores
+    (the current one excluded, so a spike cannot lift its own baseline); the
+    rule is inactive until a full window of history exists (warm-up).
+    """
+
+    def __init__(self, q: float = 99.0, window: int = 128, mult: float = 1.0) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.q = float(q)
+        self.window = int(window)
+        self.mult = float(mult)
+        self._baseline = RollingQuantile(window, self.q)
+        self._count = 0
+
+    def update(self, index: int, score: float) -> bool:
+        active = False
+        if self._count >= self.window:
+            # The operator state currently holds exactly the previous window.
+            frame = np.asarray(self._baseline._buf, dtype=np.float64)
+            active = bool(score > self.mult * self._baseline._reduce(frame))
+        self._baseline.update(score)
+        self._count += 1
+        return active
+
+    def reset(self) -> None:
+        self._baseline.reset()
+        self._count = 0
+
+    def clone(self) -> "AlertRule":
+        return QuantileRule(self.q, self.window, self.mult)
+
+    def describe(self) -> str:
+        return f"quantile(q={self.q:g}, window={self.window}, mult={self.mult:g})"
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        out = np.zeros(scores.shape[0], dtype=bool)
+        for t in range(self.window, scores.shape[0]):
+            baseline = np.percentile(scores[t - self.window:t], self.q)
+            out[t] = bool(scores[t] > self.mult * baseline)
+        return out
+
+
+class _Combinator(AlertRule):
+    _JOIN = ""
+
+    def __init__(self, children: Sequence[AlertRule]) -> None:
+        if not children:
+            raise ValueError("combinator needs at least one child rule")
+        self.children = list(children)
+
+    def _combine(self, states: List[bool]) -> bool:
+        raise NotImplementedError
+
+    def update(self, index: int, score: float) -> bool:
+        # Never short-circuit: every stateful child must see every score.
+        return self._combine([child.update(index, score) for child in self.children])
+
+    def reset(self) -> None:
+        for child in self.children:
+            child.reset()
+
+    def clone(self) -> "AlertRule":
+        return type(self)([child.clone() for child in self.children])
+
+    def describe(self) -> str:
+        parts = []
+        for child in self.children:
+            text = child.describe()
+            parts.append(f"({text})" if isinstance(child, _Combinator) else text)
+        return self._JOIN.join(parts)
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        states = np.stack([child.reference(scores) for child in self.children])
+        return self._reduce_reference(states)
+
+    def _reduce_reference(self, states: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class AllOf(_Combinator):
+    """True when every child rule is active (``and``)."""
+
+    _JOIN = " and "
+
+    def _combine(self, states: List[bool]) -> bool:
+        return all(states)
+
+    def _reduce_reference(self, states: np.ndarray) -> np.ndarray:
+        return np.all(states, axis=0)
+
+
+class AnyOf(_Combinator):
+    """True when any child rule is active (``or``)."""
+
+    _JOIN = " or "
+
+    def _combine(self, states: List[bool]) -> bool:
+        return any(states)
+
+    def _reduce_reference(self, states: np.ndarray) -> np.ndarray:
+        return np.any(states, axis=0)
+
+
+# ----------------------------------------------------------------------
+# Policies and per-tenant monitors
+# ----------------------------------------------------------------------
+
+class AlertPolicy:
+    """A named, reusable rule expression.
+
+    The policy itself is stateless; call :meth:`monitor` per tenant for an
+    edge-triggered evaluator with its own rule state.
+    """
+
+    def __init__(self, root: AlertRule, name: str = "policy",
+                 source: Optional[str] = None) -> None:
+        self.root = root
+        self.name = name
+        self.source = source if source is not None else root.describe()
+
+    def monitor(self, tenant: str) -> "PolicyMonitor":
+        return PolicyMonitor(self, tenant)
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.root.describe()}"
+
+    def evaluate_reference(self, scores: Sequence[float]) -> np.ndarray:
+        """Naive full recompute of the policy's activity series."""
+        return self.root.reference(scores)
+
+
+class PolicyMonitor:
+    """Edge-triggered incremental evaluation of one policy on one tenant."""
+
+    def __init__(self, policy: AlertPolicy, tenant: str) -> None:
+        self.policy = policy
+        self.tenant = tenant
+        self._root = policy.root.clone()
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def update(self, index: int, score: float) -> List[AlertEvent]:
+        """Consume one score; returns the fired/resolved edge, if any."""
+        state = self._root.update(index, float(score))
+        if state == self._active:
+            return []
+        self._active = state
+        return [AlertEvent(
+            tenant=self.tenant, index=int(index), policy=self.policy.name,
+            kind="fired" if state else "resolved", score=float(score),
+            detail=self.policy.source)]
+
+    def activity(self, scores: Sequence[float],
+                 start_index: int = 0) -> np.ndarray:
+        """Incremental activity series over a block (advances the state)."""
+        return np.asarray(
+            [self._root.update(start_index + i, float(s))
+             for i, s in enumerate(np.asarray(scores, dtype=np.float64))],
+            dtype=bool)
+
+
+# ----------------------------------------------------------------------
+# Grammar:  expr := term ('or' term)* ; term := factor ('and' factor)* ;
+#           factor := '(' expr ')' | atom
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<lparen>\() | (?P<rparen>\)) |
+        (?P<cmp>>=|<=|>|<) |
+        (?P<comma>,) | (?P<eq>=) |
+        (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?) |
+        (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    )""", re.VERBOSE)
+
+#: Rule-function atoms: name -> (builder, {param: (required, default)}).
+_RULE_FUNCTIONS = {
+    "hysteresis": (
+        lambda kw: HysteresisRule(up=kw["up"], down=kw["down"]),
+        {"up": True, "down": True},
+    ),
+    "episode": (
+        lambda kw: EpisodeRule(threshold=kw["threshold"],
+                               min_len=int(kw.get("min_len", 1)),
+                               gap=int(kw.get("gap", 0))),
+        {"threshold": True, "min_len": False, "gap": False},
+    ),
+    "quantile": (
+        lambda kw: QuantileRule(q=kw.get("q", 99.0),
+                                window=int(kw.get("window", 128)),
+                                mult=kw.get("mult", 1.0)),
+        {"q": False, "window": False, "mult": False},
+    ),
+}
+
+
+class _PolicyParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.position = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[tuple]:
+        tokens, position = [], 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None or match.end() == position:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise ValueError(f"bad policy syntax near {remainder[:20]!r}")
+            position = match.end()
+            kind = match.lastgroup
+            if kind is not None:
+                tokens.append((kind, match.group(kind)))
+        return tokens
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> Optional[tuple]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def _next(self) -> tuple:
+        token = self._peek()
+        if token is None:
+            raise ValueError(f"unexpected end of policy {self.text!r}")
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        token = self._next()
+        if token[0] != kind:
+            raise ValueError(
+                f"expected {kind} but found {token[1]!r} in policy {self.text!r}")
+        return token[1]
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> AlertRule:
+        rule = self._expr()
+        if self._peek() is not None:
+            raise ValueError(
+                f"trailing tokens after policy expression: {self._peek()[1]!r}")
+        return rule
+
+    def _expr(self) -> AlertRule:
+        terms = [self._term()]
+        while self._peek() is not None and self._peek()[1].lower() == "or":
+            self._next()
+            terms.append(self._term())
+        return terms[0] if len(terms) == 1 else AnyOf(terms)
+
+    def _term(self) -> AlertRule:
+        factors = [self._factor()]
+        while self._peek() is not None and self._peek()[1].lower() == "and":
+            self._next()
+            factors.append(self._factor())
+        return factors[0] if len(factors) == 1 else AllOf(factors)
+
+    def _factor(self) -> AlertRule:
+        token = self._peek()
+        if token is None:
+            raise ValueError(f"unexpected end of policy {self.text!r}")
+        if token[0] == "lparen":
+            self._next()
+            rule = self._expr()
+            self._expect("rparen")
+            return rule
+        return self._atom()
+
+    def _atom(self) -> AlertRule:
+        kind, value = self._next()
+        if kind != "name":
+            raise ValueError(f"expected a rule, found {value!r} in {self.text!r}")
+        name = value.lower()
+        if name == "score":
+            comparator = self._expect("cmp")
+            threshold = float(self._expect("number"))
+            return ThresholdRule(threshold, comparator)
+        if name not in _RULE_FUNCTIONS:
+            raise ValueError(
+                f"unknown rule {value!r}; available: score, "
+                f"{', '.join(sorted(_RULE_FUNCTIONS))}")
+        builder, params = _RULE_FUNCTIONS[name]
+        self._expect("lparen")
+        kwargs: Dict[str, float] = {}
+        while True:
+            token = self._peek()
+            if token is not None and token[0] == "rparen":
+                self._next()
+                break
+            key = self._expect("name").lower()
+            if key not in params:
+                raise ValueError(
+                    f"unknown parameter {key!r} of rule {name!r}; "
+                    f"expected: {', '.join(sorted(params))}")
+            if key in kwargs:
+                raise ValueError(f"duplicate parameter {key!r} of rule {name!r}")
+            self._expect("eq")
+            kwargs[key] = float(self._expect("number"))
+            token = self._peek()
+            if token is not None and token[0] == "comma":
+                self._next()
+        missing = [key for key, required in params.items()
+                   if required and key not in kwargs]
+        if missing:
+            raise ValueError(
+                f"rule {name!r} is missing required parameter(s): "
+                f"{', '.join(sorted(missing))}")
+        return builder(kwargs)
+
+
+def parse_policy(text: str, name: str = "policy") -> AlertPolicy:
+    """Parse a policy expression (see the module docstring for the grammar)."""
+    if not text or not text.strip():
+        raise ValueError("empty policy expression")
+    root = _PolicyParser(text).parse()
+    return AlertPolicy(root, name=name, source=text.strip())

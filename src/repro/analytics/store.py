@@ -1,0 +1,159 @@
+"""Bounded per-tenant score history with watermarks.
+
+:class:`ScoreStore` is the queryable surface between the serving hot path
+and the analytics layer: :class:`~repro.serving.DetectorService` (or any
+caller of :class:`~repro.serving.IncrementalScorer`) appends each tenant's
+final-step anomaly score — and, once decided, its label — as it is produced,
+and queries/operator pipelines/alert policies read from the store instead of
+re-deriving history from the scorer.
+
+Rows are addressed by *absolute* stream index (the serving layer's
+convention, see :mod:`repro.serving.buffers`), retention is a fixed-capacity
+ring per tenant, and each tenant carries a **watermark**: the absolute index
+up to which scores have been appended.  Appends must be contiguous at the
+watermark — the store is a history, not a random-access table — which keeps
+"what has analytics seen" a single integer per tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..serving.buffers import RingBuffer
+
+__all__ = ["ScoreStream", "ScoreStore"]
+
+
+@dataclass
+class ScoreStream:
+    """A contiguous span of one tenant's scored stream.
+
+    ``labels`` uses NaN for points whose label was never recorded (the store
+    accepts score-only appends; labels arrive with the alarm decision).
+    """
+
+    tenant: str
+    start: int
+    scores: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.start + self.scores.shape[0]
+
+    def label_array(self) -> np.ndarray:
+        """Labels as int64 with unknown labels coerced to 0 (not anomalous)."""
+        labels = np.where(np.isnan(self.labels), 0.0, self.labels)
+        return labels.astype(np.int64)
+
+
+class ScoreStore:
+    """Bounded, watermarked per-tenant score/label history."""
+
+    #: Ring layout: column 0 = final-step score, column 1 = label (NaN = unknown).
+    _WIDTH = 2
+
+    def __init__(self, history: int = 4096) -> None:
+        if history < 1:
+            raise ValueError("history must be positive")
+        self.history = int(history)
+        self._rings: Dict[str, RingBuffer] = {}
+        # First absolute index holding a really-appended row: a skipped
+        # prefix (stream replayed mid-capture) zero-fills the ring, and those
+        # rows are not evidence — views never surface them.
+        self._valid_from: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Tenant management
+    # ------------------------------------------------------------------
+    def register_tenant(self, tenant: str) -> None:
+        """Idempotent: appending auto-registers, this only pre-creates."""
+        self._rings.setdefault(tenant, RingBuffer(self.history, self._WIDTH))
+        self._valid_from.setdefault(tenant, 0)
+
+    def tenants(self) -> List[str]:
+        return sorted(self._rings)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._rings
+
+    def _ring(self, tenant: str) -> RingBuffer:
+        try:
+            return self._rings[tenant]
+        except KeyError:
+            raise KeyError(f"unknown tenant {tenant!r}") from None
+
+    # ------------------------------------------------------------------
+    # Watermarks and retention
+    # ------------------------------------------------------------------
+    def watermark(self, tenant: str) -> int:
+        """Absolute index up to which this tenant's scores were appended."""
+        return self._ring(tenant).end_index
+
+    def retained_from(self, tenant: str) -> int:
+        """Oldest absolute index still queryable (evicted or skipped before)."""
+        return max(self._ring(tenant).start_index, self._valid_from[tenant])
+
+    def evicted(self, tenant: str) -> int:
+        return self._ring(tenant).evicted
+
+    def skip_to(self, tenant: str, index: int) -> None:
+        """Advance a tenant's watermark without data (uncaptured prefix)."""
+        self.register_tenant(tenant)
+        ring = self._rings[tenant]
+        if index > ring.end_index:
+            ring.skip_to(index)
+            self._valid_from[tenant] = max(self._valid_from[tenant], index)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def append(self, tenant: str, start: int, scores: np.ndarray,
+               labels: Optional[np.ndarray] = None) -> int:
+        """Append a contiguous block of scores (and optional labels).
+
+        ``start`` must equal the tenant's watermark: history grows in order,
+        with no gaps and no rewrites.  Returns the new watermark.
+        """
+        self.register_tenant(tenant)
+        ring = self._rings[tenant]
+        scores = np.atleast_1d(np.asarray(scores, dtype=np.float64))
+        if scores.ndim != 1:
+            raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+        if start != ring.end_index:
+            raise ValueError(
+                f"append for {tenant!r} must start at the watermark "
+                f"{ring.end_index}, got {start}")
+        if labels is None:
+            label_col = np.full(scores.shape[0], np.nan)
+        else:
+            label_col = np.atleast_1d(np.asarray(labels, dtype=np.float64))
+            if label_col.shape != scores.shape:
+                raise ValueError("labels must match scores in length")
+        if scores.shape[0]:
+            ring.append(np.stack([scores, label_col], axis=1))
+        return ring.end_index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def view(self, tenant: str, start: Optional[int] = None,
+             end: Optional[int] = None) -> ScoreStream:
+        """Retained scores/labels over ``[start, end)`` (defaults: all retained)."""
+        ring = self._ring(tenant)
+        floor = self.retained_from(tenant)
+        lo = floor if start is None else max(int(start), floor)
+        hi = ring.end_index if end is None else min(int(end), ring.end_index)
+        lo = min(lo, hi)
+        rows = ring.view(lo, hi)
+        return ScoreStream(tenant=tenant, start=lo,
+                           scores=rows[:, 0], labels=rows[:, 1])
+
+    def tail(self, tenant: str, count: int) -> ScoreStream:
+        """The newest ``count`` retained rows."""
+        ring = self._ring(tenant)
+        count = min(int(count), ring.size)
+        return self.view(tenant, ring.end_index - count, ring.end_index)

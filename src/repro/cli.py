@@ -1,12 +1,14 @@
 """Command-line interface for the ImDiffusion reproduction.
 
-Five subcommands cover the common workflows without writing any code::
+Six subcommands cover the common workflows without writing any code::
 
     repro detect   --dataset SMD --scale 0.1 --epochs 3
     repro compare  --dataset GCP --detectors ImDiffusion,IForest,LSTM-AD
     repro train    --dataset GCP --early-stop-patience 3 --registry ./models
     repro datasets
-    repro serve    --tenants 4 --samples 384
+    repro serve    --tenants 4 --samples 384 --export-scores scores.jsonl
+    repro query    --from scores.jsonl --ops mean:64,quantile:64:99 \\
+                   --policy "score > 0.8 and hysteresis(up=0.8, down=0.5)"
 
 (``python -m repro.cli`` works identically when the package is not
 installed.)  ``detect`` trains ImDiffusion on one benchmark analogue and
@@ -18,7 +20,11 @@ reports the loss curve and publishes the fitted model to a
 ``datasets`` lists the available dataset analogues with their profiles;
 ``serve`` runs the multi-tenant streaming service of :mod:`repro.serving` on
 simulated microservice latency streams, sharing one registry-loaded model
-across all tenants.
+across all tenants (``--policy`` attaches live alert policies,
+``--export-scores`` captures every tenant's scored stream as JSONL);
+``query`` replays such a capture offline through :mod:`repro.analytics` —
+window-function pipelines, sessionized episodes and declarative alert
+policies — without touching a model.
 """
 
 from __future__ import annotations
@@ -141,6 +147,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registry name the shared model is published under")
     serve.add_argument("--seed", type=int, default=0)
     _add_engine_arguments(serve)
+    serve.add_argument("--policy", action="append", default=None,
+                       metavar="SPEC", dest="policies",
+                       help="alert-policy expression evaluated live on every "
+                            "tenant (repeatable), e.g. "
+                            "'score > 0.8 and episode(threshold=0.8, "
+                            "min_len=3, gap=2)'")
+    serve.add_argument("--export-scores", default=None, metavar="PATH",
+                       help="capture every tenant's scored stream to this "
+                            "JSONL file for offline `repro query --from`")
+
+    query = subparsers.add_parser(
+        "query", help="windowed analytics and alerting over a captured score stream")
+    query.add_argument("--from", dest="from_path", required=True, metavar="PATH",
+                       help="JSONL score capture (one object per line: "
+                            "tenant, index, score, optional label) — e.g. "
+                            "the output of `repro serve --export-scores`")
+    query.add_argument("--tenant", default=None,
+                       help="restrict to one tenant (default: all)")
+    query.add_argument("--ops", default=None, metavar="PIPELINE",
+                       help="comma-separated operator pipeline, e.g. "
+                            "'mean:64,std:64,quantile:64:99,ewma:0.3'")
+    query.add_argument("--policy", action="append", default=None,
+                       metavar="SPEC", dest="policies",
+                       help="alert-policy expression to replay over the "
+                            "stream (repeatable)")
+    query.add_argument("--episode-gap", type=int, default=2,
+                       help="quiet points merged into an anomaly episode")
+    query.add_argument("--episode-min-length", type=int, default=1,
+                       help="shortest episode worth reporting")
+    query.add_argument("--tail", type=int, default=8, metavar="N",
+                       help="rows of operator output to print per tenant")
+    query.add_argument("--check", action="store_true",
+                       help="also run every operator's naive full-recompute "
+                            "reference and fail unless it matches the "
+                            "incremental output bitwise")
+    query.add_argument("--export", default=None, metavar="PATH",
+                       help="re-export the (filtered) streams as JSONL")
     return parser
 
 
@@ -448,7 +491,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     # --- Stream all tenants concurrently through one service. ---------------
     service = DetectorService(detector, ServingConfig(
         flush_size=args.flush_size, flush_age=args.flush_age,
-        history=args.history))
+        history=args.history, alert_policies=args.policies or ()))
     for tenant in traces:
         service.register_tenant(tenant)
 
@@ -477,6 +520,116 @@ def _run_serve(args: argparse.Namespace) -> int:
               f"{metrics.recall:7.3f} {metrics.f1:6.3f}")
     print()
     print(service.metrics.format_table())
+
+    # --- Alert-policy edges and the JSONL score capture. --------------------
+    events = service.drain_alert_events()
+    if args.policies:
+        print()
+        print(f"Alert events ({len(events)}):")
+        for event in events:
+            print(f"  {event.describe()}")
+    if args.export_scores:
+        from .analytics import export_jsonl
+
+        rows = export_jsonl(args.export_scores, service.analytics.store)
+        print()
+        print(f"Captured {rows} scored points to {args.export_scores}")
+        print(f"Replay offline with: repro query --from {args.export_scores}")
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from .analytics import (
+        AnalyticsEngine,
+        apply_pipeline,
+        export_jsonl,
+        load_jsonl,
+        parse_pipeline,
+    )
+
+    streams = load_jsonl(args.from_path)
+    if args.tenant is not None:
+        if args.tenant not in streams:
+            print(f"error: tenant {args.tenant!r} not in {args.from_path}; "
+                  f"available: {', '.join(sorted(streams))}")
+            return 2
+        streams = {args.tenant: streams[args.tenant]}
+    if not streams:
+        print(f"error: no streams in {args.from_path}")
+        return 2
+
+    # One engine replays every stream: store + episodes + policies advance
+    # exactly as they would have on the live serving path.
+    history = max(stream.end for stream in streams.values())
+    engine = AnalyticsEngine(
+        history=max(history, 1), policies=args.policies or (),
+        episode_gap=args.episode_gap,
+        episode_min_length=args.episode_min_length)
+    for tenant in sorted(streams):
+        stream = streams[tenant]
+        engine.register_tenant(tenant)
+        engine.store.skip_to(tenant, stream.start)
+        engine.observe_block(tenant, stream.start, stream.scores,
+                             stream.label_array())
+
+    operators = parse_pipeline(args.ops) if args.ops else []
+    mismatches = 0
+    for tenant in sorted(streams):
+        stream = streams[tenant]
+        print(f"tenant {tenant}: {stream.end - stream.start} points "
+              f"[{stream.start}, {stream.end}), "
+              f"{int(stream.label_array().sum())} anomalous")
+
+        episodes = engine.episodes(tenant)
+        if episodes:
+            print(f"  episodes ({len(episodes)}):")
+            for episode in episodes:
+                print(f"    {episode.describe()}")
+
+        if operators:
+            columns = apply_pipeline(operators, stream.scores,
+                                     engine="incremental")
+            if args.check:
+                reference = apply_pipeline(operators, stream.scores,
+                                           engine="reference")
+                for name, values in columns.items():
+                    agree = np.array_equal(values, reference[name],
+                                           equal_nan=True)
+                    status = "bitwise-equal" if agree else "MISMATCH"
+                    print(f"  check {name}: incremental vs reference "
+                          f"{status}")
+                    mismatches += 0 if agree else 1
+            names = list(columns)
+            tail = min(args.tail, stream.end - stream.start)
+            header = "  " + " ".join(f"{name:>16s}" for name in ["index", "score"] + names)
+            print(header)
+            for row in range(stream.end - tail, stream.end):
+                offset = row - stream.start
+                cells = [f"{row:16d}", f"{stream.scores[offset]:16.6f}"]
+                cells += [f"{columns[name][offset]:16.6f}" for name in names]
+                print("  " + " ".join(cells))
+
+    events = engine.drain_events()
+    if args.policies:
+        print()
+        print(f"Alert events ({len(events)}):")
+        for event in events:
+            print(f"  {event.describe()}")
+        fired = {}
+        for event in events:
+            if event.kind == "fired":
+                fired[event.policy] = fired.get(event.policy, 0) + 1
+        for policy, count in sorted(fired.items()):
+            print(f"  {policy}: fired {count}x")
+
+    if args.export:
+        rows = export_jsonl(args.export, streams)
+        print(f"Exported {rows} points to {args.export}")
+
+    if mismatches:
+        print(f"error: {mismatches} operator column(s) diverged from the "
+              "reference engine")
+        return 1
     return 0
 
 
@@ -502,6 +655,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_datasets()
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "query":
+        return _run_query(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

@@ -30,11 +30,12 @@ Two scoring paths are available:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..analytics import AlertEvent, AnalyticsEngine, Episode
 from ..core import ImDiffusionDetector
 from ..data.production import ProductionTrace
 from ..evaluation import evaluate_labels
@@ -48,21 +49,30 @@ __all__ = ["OnlineEvaluation", "run_online_evaluation", "compare_with_legacy"]
 #: the age of the stream.
 DEFAULT_EVAL_BUFFER = 1024
 
+#: Tenant name under which the online harness streams into the analytics
+#: engine — there is exactly one stream per evaluation run.
+ONLINE_TENANT = "online"
+
 
 @dataclass
 class OnlineEvaluation:
-    """Result of an online run: metrics, alarms and throughput."""
+    """Result of an online run: metrics, alarms, analytics and throughput."""
 
     metrics: RunMetrics
     labels: np.ndarray
     scores: np.ndarray
     points_per_second: float
+    episodes: List[Episode] = field(default_factory=list)
+    alert_events: List[AlertEvent] = field(default_factory=list)
 
 
 def run_online_evaluation(detector, trace: ProductionTrace,
                           rescore_every: int = 16,
                           eval_buffer: int = DEFAULT_EVAL_BUFFER,
-                          incremental: Optional[bool] = None) -> OnlineEvaluation:
+                          incremental: Optional[bool] = None,
+                          alert_policy: Optional[str] = None,
+                          episode_gap: int = 2,
+                          episode_min_length: int = 1) -> OnlineEvaluation:
     """Stream the test split of ``trace`` through a fitted or unfitted detector.
 
     The detector is fitted on the trace's train split, then the test split is
@@ -74,6 +84,13 @@ def run_online_evaluation(detector, trace: ProductionTrace,
     ``incremental`` selects the scoring path; by default ImDiffusion
     detectors use the incremental tail scorer and every other detector uses
     bounded re-scoring.
+
+    The stream lands in one :class:`~repro.analytics.AnalyticsEngine` score
+    store as it is scored, so the result carries sessionized anomaly
+    :class:`~repro.analytics.Episode`\\ s (``episode_gap`` /
+    ``episode_min_length``) and, when ``alert_policy`` is given, the
+    edge-triggered :class:`~repro.analytics.AlertEvent`\\ s the policy fired
+    over the run.
     """
     if rescore_every < 1:
         raise ValueError("rescore_every must be positive")
@@ -82,19 +99,31 @@ def run_online_evaluation(detector, trace: ProductionTrace,
     detector.fit(trace.train)
     if incremental is None:
         incremental = isinstance(detector, ImDiffusionDetector)
+    length = trace.test.shape[0]
+    analytics = AnalyticsEngine(
+        history=max(length, 1),
+        policies=[alert_policy] if alert_policy else [],
+        episode_gap=episode_gap,
+        episode_min_length=episode_min_length,
+    )
     if incremental:
         labels, scores, elapsed = _stream_incremental(
-            detector, trace.test, rescore_every, eval_buffer)
+            detector, trace.test, rescore_every, eval_buffer, analytics)
     else:
         labels, scores, elapsed = _stream_bounded(
             detector, trace.test, rescore_every, eval_buffer)
+        # The bounded path scores in place; replay the finished stream so
+        # both paths report episodes/alerts from the same engine.
+        analytics.observe_block(ONLINE_TENANT, 0, scores, labels)
 
     metrics = evaluate_labels(labels, scores, trace.test_labels)
     return OnlineEvaluation(
         metrics=metrics,
         labels=labels,
         scores=scores,
-        points_per_second=float(trace.test.shape[0] / elapsed),
+        points_per_second=float(length / elapsed),
+        episodes=analytics.episodes(ONLINE_TENANT),
+        alert_events=analytics.drain_events(),
     )
 
 
@@ -121,22 +150,27 @@ def _stream_bounded(detector, test: np.ndarray, rescore_every: int,
 
 
 def _stream_incremental(detector: ImDiffusionDetector, test: np.ndarray,
-                        rescore_every: int, eval_buffer: int):
-    """ImDiffusion path: score only the new tail via the serving-layer scorer."""
+                        rescore_every: int, eval_buffer: int,
+                        analytics: AnalyticsEngine):
+    """ImDiffusion path: score only the new tail via the serving-layer scorer.
+
+    Each poll's fresh span (everything past the analytics watermark) lands in
+    ``analytics``'s score store, which doubles as the run's label/score
+    history — one bounded store per tenant instead of arrays re-derived and
+    copied at every step.  Decisions for a timestamp freeze at the poll that
+    first covered it, exactly as an online monitor would have emitted them.
+    """
     from ..serving import IncrementalScorer  # deferred: serving imports production
 
     window = detector.config.window_size
     history = max(eval_buffer, window)
     scorer = IncrementalScorer(detector, history=history,
                                raw_capacity=max(history, 4 * window))
-    tenant = "online"
+    tenant = ONLINE_TENANT
     scorer.register_tenant(tenant)
+    analytics.register_tenant(tenant)
 
     length = test.shape[0]
-    labels = np.zeros(length, dtype=np.int64)
-    scores = np.zeros(length, dtype=np.float64)
-    written_until = 0
-
     start_time = time.perf_counter()
     processed = 0
     while processed < length:
@@ -147,12 +181,19 @@ def _stream_incremental(detector: ImDiffusionDetector, test: np.ndarray,
         if scorer.total(tenant) >= window:
             scorer.score_pending(tenant, anchor_tail=True)
             view = scorer.decide(tenant)
-            lo = max(written_until, view.start)
-            labels[lo:view.end] = view.labels[lo - view.start:]
-            scores[lo:view.end] = view.scores[lo - view.start:]
-            written_until = view.end
+            start, fresh_labels, fresh_scores = view.slice_from(
+                analytics.watermark(tenant))
+            if fresh_labels.shape[0]:
+                analytics.store.skip_to(tenant, start)
+                analytics.observe_block(tenant, start, fresh_scores, fresh_labels)
         processed = next_block
     elapsed = max(time.perf_counter() - start_time, 1e-9)
+
+    stream = analytics.view(tenant)
+    labels = np.zeros(length, dtype=np.int64)
+    scores = np.zeros(length, dtype=np.float64)
+    labels[stream.start:stream.end] = stream.label_array()
+    scores[stream.start:stream.end] = stream.scores
     return labels, scores, elapsed
 
 

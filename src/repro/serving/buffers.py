@@ -94,6 +94,22 @@ class RingBuffer:
             self.evicted += max(0, horizon - self.start_index)
             self._end = new_end
 
+    def skip_to(self, abs_index: int) -> int:
+        """Advance the stream to ``abs_index`` without writing real rows.
+
+        The skipped span zero-fills like any other gap (callers that care —
+        e.g. the analytics score store replaying a capture whose prefix was
+        never exported — track the first *valid* index themselves, the same
+        way the incremental scorer's ``valid_from`` does).  Returns the
+        skipped count.
+        """
+        if abs_index < self._end:
+            raise IndexError(
+                f"cannot skip backwards: end is {self._end}, got {abs_index}")
+        skipped = abs_index - self._end
+        self.write_at(abs_index, np.empty((0, self.width), dtype=np.float64))
+        return skipped
+
     # ------------------------------------------------------------------
     def view(self, abs_start: Optional[int] = None,
              abs_end: Optional[int] = None) -> np.ndarray:

@@ -62,6 +62,10 @@ class ServiceMetrics:
         self.backpressure_events = 0
         self.points_evicted = 0
         self.flush_reasons: Dict[str, int] = {}
+        # Alert-policy engine (repro.analytics) edges, by policy and kind
+        self.alerts_fired = 0
+        self.alerts_resolved = 0
+        self.alerts_by_policy: Dict[str, int] = {}
         # Gauges
         self.queue_depth = 0
         self.active_tenants = 0
@@ -76,6 +80,15 @@ class ServiceMetrics:
         self.points_scored += points
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
         self.scoring_latency.record(seconds)
+
+    def record_alert(self, event) -> None:
+        """Account one :class:`repro.analytics.AlertEvent` edge."""
+        if event.kind == "fired":
+            self.alerts_fired += 1
+            self.alerts_by_policy[event.policy] = (
+                self.alerts_by_policy.get(event.policy, 0) + 1)
+        else:
+            self.alerts_resolved += 1
 
     def record_drain(self, num_windows: int, new_points: int) -> None:
         """Account a shutdown drain pass without polluting latency samples."""
@@ -106,6 +119,8 @@ class ServiceMetrics:
             "windows_scored": float(self.windows_scored),
             "batches_flushed": float(self.batches_flushed),
             "alarms_raised": float(self.alarms_raised),
+            "alerts_fired": float(self.alerts_fired),
+            "alerts_resolved": float(self.alerts_resolved),
             "backpressure_events": float(self.backpressure_events),
             "points_evicted": float(self.points_evicted),
             "queue_depth": float(self.queue_depth),
@@ -124,6 +139,7 @@ class ServiceMetrics:
                  "-" * 40]
         for key in ("active_tenants", "events_ingested", "points_scored",
                     "windows_scored", "batches_flushed", "alarms_raised",
+                    "alerts_fired", "alerts_resolved",
                     "backpressure_events", "points_evicted", "queue_depth"):
             lines.append(f"{key:28s} {snap[key]:>10.0f}")
         lines.append(f"{'points_per_second':28s} {snap['points_per_second']:>10.1f}")
@@ -135,4 +151,8 @@ class ServiceMetrics:
         if self.flush_reasons:
             reasons = ", ".join(f"{k}={v}" for k, v in sorted(self.flush_reasons.items()))
             lines.append(f"{'flushes_by_reason':28s} {reasons:>10s}")
+        if self.alerts_by_policy:
+            policies = ", ".join(f"{k}={v}"
+                                 for k, v in sorted(self.alerts_by_policy.items()))
+            lines.append(f"{'alerts_by_policy':28s} {policies:>10s}")
         return "\n".join(lines)

@@ -57,6 +57,17 @@ class ScoreView:
     def score_at(self, abs_index: int) -> float:
         return float(self.scores[abs_index - self.start])
 
+    def slice_from(self, abs_index: int) -> Tuple[int, np.ndarray, np.ndarray]:
+        """``(start, labels, scores)`` from ``abs_index`` to the view's end.
+
+        The vectorized form of walking ``label_at``/``score_at`` point by
+        point — this is what the service's alarm scan and the analytics
+        feed consume per fresh span.  ``abs_index`` below the view start
+        clamps to the start.
+        """
+        lo = max(int(abs_index), self.start) - self.start
+        return self.start + lo, self.labels[lo:], self.scores[lo:]
+
 
 class _TenantState:
     def __init__(self, raw_capacity: int, score_capacity: int,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from .batcher import BatchResult, MicroBatcher
 from .metrics import ServiceMetrics
 from .router import StreamRouter, TelemetryEvent
 from .scorer import IncrementalScorer, PendingWindow, ScoreView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: analytics uses our buffers
+    from ..analytics import AlertEvent, AnalyticsEngine
 
 __all__ = ["Alarm", "ServingConfig", "DetectorService"]
 
@@ -53,6 +56,11 @@ class ServingConfig:
     max_pending: int = 64      # queue bound triggering backpressure
     history: int = 1024        # per-tenant score-cache / evaluation buffer
     raw_capacity: Optional[int] = None  # per-tenant raw ring (default from scorer)
+    # Analytics layer (repro.analytics): queryable score history + alerting
+    alert_policies: Sequence[str] = ()  # policy expressions (see parse_policy)
+    analytics_history: Optional[int] = None  # score-store retention (default: history)
+    episode_gap: int = 2       # quiet points merged into an anomaly episode
+    episode_min_length: int = 1  # shortest episode worth reporting
 
 
 class DetectorService:
@@ -76,6 +84,16 @@ class DetectorService:
             clock=clock,
         )
         self.router = StreamRouter(self.scorer, on_window=self.batcher.submit)
+        # Deferred import: repro.analytics builds on the serving ring buffers,
+        # so importing it at module scope would be circular.
+        from ..analytics import AnalyticsEngine
+
+        self.analytics: "AnalyticsEngine" = AnalyticsEngine(
+            history=self.config.analytics_history or self.config.history,
+            policies=list(self.config.alert_policies),
+            episode_gap=self.config.episode_gap,
+            episode_min_length=self.config.episode_min_length,
+        )
         self._alarm_cursor: Dict[str, int] = {}
         self._dirty: Dict[str, bool] = {}
 
@@ -84,6 +102,7 @@ class DetectorService:
         """Register a tenant; idempotent for tenants the router auto-registered."""
         if not self.scorer.is_registered(tenant):
             self.router.register_tenant(tenant)
+        self.analytics.register_tenant(tenant)
         self._alarm_cursor.setdefault(tenant, 0)
         self._dirty.setdefault(tenant, False)
         self.metrics.active_tenants = len(self.scorer.tenants())
@@ -164,7 +183,13 @@ class DetectorService:
     # Alarms
     # ------------------------------------------------------------------
     def collect_alarms(self) -> List[Alarm]:
-        """Fresh alarms from every tenant whose scores changed since last check."""
+        """Fresh alarms from every tenant whose scores changed since last check.
+
+        Each fresh span is also pushed through the analytics layer: scores
+        and labels land in the per-tenant score store, episodes advance, and
+        every configured alert policy is evaluated incrementally (events are
+        queued on ``self.analytics`` — see :meth:`drain_alert_events`).
+        """
         alarms: List[Alarm] = []
         for tenant, dirty in list(self._dirty.items()):
             if not dirty:
@@ -172,13 +197,27 @@ class DetectorService:
             self._dirty[tenant] = False
             view = self.scorer.decide(tenant)
             cursor = max(self._alarm_cursor[tenant], view.start)
-            for index in range(cursor, view.end):
-                if view.label_at(index):
-                    alarms.append(Alarm(tenant=tenant, index=index,
-                                        score=view.score_at(index)))
+            start, labels, scores = view.slice_from(cursor)
+            for offset in np.flatnonzero(labels):
+                alarms.append(Alarm(tenant=tenant, index=start + int(offset),
+                                    score=float(scores[offset])))
             self._alarm_cursor[tenant] = view.end
+            if labels.shape[0]:
+                # A span evicted before evaluation leaves a hole; the store
+                # skips it so its watermark stays aligned with the cursor.
+                self.analytics.store.skip_to(tenant, start)
+                for event in self.analytics.observe_block(
+                        tenant, start, scores, labels):
+                    self.metrics.record_alert(event)
         self.metrics.alarms_raised += len(alarms)
         return alarms
+
+    # ------------------------------------------------------------------
+    # Analytics
+    # ------------------------------------------------------------------
+    def drain_alert_events(self) -> List["AlertEvent"]:
+        """Alert-policy events queued since the last drain (stream order)."""
+        return self.analytics.drain_events()
 
     def tenant_view(self, tenant: str) -> ScoreView:
         """Current labels/scores over one tenant's retained evaluation buffer."""

@@ -1,0 +1,93 @@
+"""The AnalyticsEngine orchestrator: store + episodes + policies per tenant."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import AnalyticsEngine, parse_policy
+
+
+class TestObserve:
+    def test_observe_block_appends_and_evaluates(self):
+        engine = AnalyticsEngine(history=64, policies=["score > 1.0"])
+        scores = np.array([0.1, 2.0, 3.0, 0.2])
+        labels = np.array([0, 1, 1, 0])
+        events = engine.observe_block("a", 0, scores, labels)
+        assert [(e.kind, e.index) for e in events] == [("fired", 1), ("resolved", 3)]
+        assert engine.watermark("a") == 4
+        assert len(engine.episodes("a")) == 1
+        view = engine.view("a")
+        assert np.array_equal(view.scores, scores)
+        assert np.array_equal(view.label_array(), labels)
+
+    def test_blocks_resume_where_the_last_ended(self):
+        engine = AnalyticsEngine(history=64, policies=["score > 1.0"])
+        engine.observe_block("a", 0, np.array([2.0, 2.0]))
+        events = engine.observe_block("a", 2, np.array([0.1]))
+        assert [(e.kind, e.index) for e in events] == [("resolved", 2)]
+        # Policy state carried across blocks: no duplicate "fired".
+        assert [e.kind for e in engine.drain_events()] == [
+            "fired", "resolved"]
+
+    def test_observe_single_point(self):
+        engine = AnalyticsEngine(history=16)
+        engine.observe("a", 0, 0.7, label=1)
+        engine.observe("a", 1, 0.2)
+        assert engine.watermark("a") == 2
+        assert engine.episodes("a")[0].anomalous_points == 1
+
+    def test_string_policies_get_stable_names(self):
+        engine = AnalyticsEngine(policies=["score > 1", "score > 2"])
+        assert [p.name for p in engine.policies] == ["policy-0", "policy-1"]
+
+    def test_active_policies(self):
+        engine = AnalyticsEngine(history=16, policies=["score > 1.0"])
+        engine.observe("a", 0, 5.0)
+        engine.observe("b", 0, 0.0)
+        assert engine.active_policies("a") == ["policy-0"]
+        assert engine.active_policies("b") == []
+
+    def test_event_queue_is_bounded(self):
+        engine = AnalyticsEngine(history=256, policies=["score > 0.5"],
+                                 max_events=4)
+        # Alternate above/below threshold: every point is an edge.
+        scores = np.tile([1.0, 0.0], 8)
+        engine.observe_block("a", 0, scores)
+        assert len(engine.events) == 4
+        assert engine.events_dropped == 12
+        # The retained events are the newest ones.
+        assert engine.drain_events()[-1].index == 15
+        assert engine.events == []
+
+    def test_tenants_are_isolated(self):
+        engine = AnalyticsEngine(history=16, policies=["hysteresis(up=1, down=0.2)"])
+        engine.observe_block("a", 0, np.array([5.0]))
+        events = engine.observe_block("b", 0, np.array([0.5]))
+        assert events == []
+        assert engine.active_policies("a") == ["policy-0"]
+
+
+class TestQuery:
+    def test_query_runs_pipelines_over_the_store(self):
+        engine = AnalyticsEngine(history=64)
+        scores = np.random.default_rng(0).random(40)
+        engine.observe_block("a", 0, scores)
+        out = engine.query("a", "mean:8,ewma:0.5")
+        assert set(out) == {"mean:8", "ewma:0.5"}
+        ref = engine.query("a", "mean:8,ewma:0.5", engine="reference")
+        for name in out:
+            assert np.array_equal(out[name], ref[name], equal_nan=True)
+
+    def test_accepts_prebuilt_policy_objects(self):
+        policy = parse_policy("score > 3.0", name="custom")
+        engine = AnalyticsEngine(policies=[policy])
+        events = engine.observe_block("a", 0, np.array([4.0]))
+        assert events[0].policy == "custom"
+
+    def test_append_gap_requires_skip(self):
+        engine = AnalyticsEngine(history=32)
+        engine.observe_block("a", 0, np.array([1.0]))
+        with pytest.raises(ValueError, match="watermark"):
+            engine.observe_block("a", 5, np.array([1.0]))
+        engine.store.skip_to("a", 5)
+        engine.observe_block("a", 5, np.array([1.0]))
+        assert engine.watermark("a") == 6

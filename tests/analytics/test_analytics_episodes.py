@@ -1,0 +1,90 @@
+"""Sessionization: the incremental tracker replays the naive reference."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import Episode, EpisodeTracker, sessionize
+
+
+def random_flags(length, seed, density=0.3):
+    return np.random.default_rng(seed).random(length) < density
+
+
+def tracker_episodes(flags, merge_gap, min_length, offset=0):
+    tracker = EpisodeTracker(merge_gap=merge_gap, min_length=min_length)
+    closed = []
+    for i, flag in enumerate(flags):
+        closed.extend(tracker.update(offset + i, bool(flag)))
+    closed.extend(tracker.finish())
+    return closed, tracker
+
+
+class TestSessionizeReference:
+    def test_plain_runs(self):
+        episodes = sessionize([0, 1, 1, 0, 0, 1, 0], merge_gap=0)
+        assert episodes == [Episode(1, 3, 2), Episode(5, 6, 1)]
+
+    def test_gap_merging(self):
+        flags = [1, 0, 0, 1, 0, 0, 0, 1]
+        assert sessionize(flags, merge_gap=2) == [
+            Episode(0, 4, 2), Episode(7, 8, 1)]
+        assert sessionize(flags, merge_gap=3) == [Episode(0, 8, 3)]
+
+    def test_min_length_filter(self):
+        flags = [1, 0, 1, 1, 1]
+        assert sessionize(flags, merge_gap=0, min_length=2) == [Episode(2, 5, 3)]
+
+    def test_offset_shifts_indices(self):
+        assert sessionize([1, 1], offset=100) == [Episode(100, 102, 2)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            sessionize([1], merge_gap=-1)
+        with pytest.raises(ValueError):
+            sessionize([1], min_length=0)
+
+
+class TestTrackerMatchesReference:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("merge_gap,min_length", [(0, 1), (1, 1), (2, 3), (4, 2)])
+    def test_random_streams(self, seed, merge_gap, min_length):
+        flags = random_flags(211, seed, density=0.25 + 0.1 * (seed % 3))
+        closed, _ = tracker_episodes(flags, merge_gap, min_length)
+        assert closed == sessionize(flags, merge_gap, min_length)
+
+    def test_with_absolute_offset(self):
+        flags = random_flags(64, seed=9)
+        closed, _ = tracker_episodes(flags, 1, 1, offset=4096)
+        assert closed == sessionize(flags, 1, 1, offset=4096)
+
+    def test_all_episodes_includes_open_span(self):
+        tracker = EpisodeTracker(merge_gap=1, min_length=1)
+        for i, flag in enumerate([0, 1, 1]):
+            tracker.update(i, bool(flag))
+        assert tracker.finish() == [Episode(1, 3, 2)]
+
+        tracker = EpisodeTracker(merge_gap=1, min_length=1)
+        for i, flag in enumerate([0, 1, 1]):
+            tracker.update(i, bool(flag))
+        assert tracker.open_episode == Episode(1, 3, 2)
+        assert tracker.all_episodes() == [Episode(1, 3, 2)]
+        assert tracker.all_episodes(include_open=False) == []
+
+    def test_episode_closes_once_gap_definitively_exceeded(self):
+        tracker = EpisodeTracker(merge_gap=1, min_length=1)
+        tracker.update(0, True)
+        assert tracker.update(1, False) == []   # gap=1, still mergeable
+        assert tracker.update(2, False) == []   # gap=2 quiet, closes next update
+        assert tracker.update(3, False) == [Episode(0, 1, 1)]
+
+    def test_sparse_indices_count_as_quiet(self):
+        tracker = EpisodeTracker(merge_gap=1, min_length=1)
+        tracker.update(0, True)
+        # Index 1..4 never arrive: the jump itself exceeds the merge gap.
+        assert tracker.update(5, True) == [Episode(0, 1, 1)]
+
+    def test_indices_must_strictly_increase(self):
+        tracker = EpisodeTracker()
+        tracker.update(3, True)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            tracker.update(3, True)

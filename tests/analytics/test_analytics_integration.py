@@ -1,0 +1,197 @@
+"""Analytics wired end to end: serving hot path, online harness, `repro query`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.analytics import export_jsonl, load_jsonl
+from repro.cli import main
+from repro.data import MicroserviceLatencySimulator, ProductionConfig
+from repro.production import LegacyThresholdDetector, run_online_evaluation
+from repro.serving import DetectorService, ServingConfig
+
+WINDOW = 16
+
+
+def make_series(length, channels=3, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.sin(2 * np.pi * t / 32)[:, None] * np.ones((1, channels))
+    return base + 0.1 * rng.standard_normal((length, channels))
+
+
+@pytest.fixture(scope="module")
+def detector():
+    config = ImDiffusionConfig(
+        window_size=WINDOW, num_steps=4, epochs=1, hidden_dim=8, num_blocks=1,
+        num_heads=2, max_train_windows=12, num_masked_windows=2,
+        num_unmasked_windows=2, deterministic_inference=True, collect="x0",
+        seed=0)
+    return ImDiffusionDetector(config).fit(make_series(200, seed=1))
+
+
+@pytest.fixture(scope="module")
+def trace():
+    sim = MicroserviceLatencySimulator(ProductionConfig(
+        num_services=4, train_days=2, test_days=1, seed=11))
+    return sim.generate()
+
+
+class TestServiceFeedsAnalytics:
+    def test_store_tracks_the_alarm_cursor(self, detector):
+        service = DetectorService(detector, ServingConfig(
+            flush_size=2, history=128))
+        series = make_series(3 * WINDOW, seed=4)
+        service.register_tenant("a")
+        alarms = []
+        for row in series:
+            alarms.extend(service.ingest("a", row))
+        alarms.extend(service.drain())
+        # Everything the alarm scan consumed is in the analytics store: same
+        # span, same final-step scores, and the stored labels are exactly the
+        # alarms that were raised (labels freeze at the poll that emitted
+        # them, unlike the live view which re-votes over the whole buffer).
+        view = service.tenant_view("a")
+        stream = service.analytics.view("a")
+        assert stream.start == view.start and stream.end == view.end
+        assert np.array_equal(stream.scores, view.scores)
+        flagged = np.flatnonzero(stream.label_array()) + stream.start
+        assert sorted(a.index for a in alarms) == sorted(flagged.tolist())
+
+    def test_policies_emit_events_and_metrics(self, detector):
+        service = DetectorService(detector, ServingConfig(
+            flush_size=2, history=128,
+            alert_policies=["score > 0.0"]))  # trivially fires on first score
+        series = make_series(2 * WINDOW, seed=5)
+        for row in series:
+            service.ingest("b", row)
+        service.drain()
+        events = service.drain_alert_events()
+        assert events and events[0].kind == "fired"
+        assert service.metrics.alerts_fired >= 1
+        assert service.metrics.alerts_by_policy.get("policy-0", 0) >= 1
+        snapshot = service.metrics.snapshot()
+        assert snapshot["alerts_fired"] >= 1.0
+        assert "alerts_fired" in service.metrics.format_table()
+        # Drained means drained.
+        assert service.drain_alert_events() == []
+
+    def test_query_over_the_live_store(self, detector):
+        service = DetectorService(detector, ServingConfig(
+            flush_size=2, history=128))
+        for row in make_series(2 * WINDOW, seed=6):
+            service.ingest("c", row)
+        service.drain()
+        out = service.analytics.query("c", "mean:8,quantile:8:95")
+        stream = service.analytics.view("c")
+        assert all(v.shape[0] == stream.end - stream.start for v in out.values())
+
+
+class TestOnlineHarnessAnalytics:
+    def test_online_run_reports_episodes_and_alerts(self, trace):
+        evaluation = run_online_evaluation(
+            LegacyThresholdDetector(seed=0), trace, rescore_every=32,
+            alert_policy="score > 3.0 or episode(threshold=3.0, min_len=2, gap=1)")
+        assert evaluation.labels.shape == trace.test_labels.shape
+        # Episodes sessionize the emitted labels.
+        if evaluation.labels.any():
+            assert evaluation.episodes
+            total = sum(e.anomalous_points for e in evaluation.episodes)
+            assert total == int(evaluation.labels.sum())
+        assert all(e.tenant == "online" for e in evaluation.alert_events)
+
+    def test_incremental_path_stores_stream_once(self, trace):
+        config = ImDiffusionConfig(
+            window_size=WINDOW, num_steps=4, epochs=1, hidden_dim=8,
+            num_blocks=1, num_heads=2, max_train_windows=8,
+            num_masked_windows=2, num_unmasked_windows=2,
+            deterministic_inference=True, collect="x0", seed=0)
+        log_trace = type(trace)(train=np.log(trace.train),
+                                test=np.log(trace.test),
+                                test_labels=trace.test_labels)
+        evaluation = run_online_evaluation(
+            ImDiffusionDetector(config), log_trace, rescore_every=24,
+            eval_buffer=128, alert_policy="score > 0.0")
+        assert evaluation.labels.shape == trace.test_labels.shape
+        assert evaluation.scores.shape == trace.test_labels.shape
+        # The analytics path must not lose the stream tail.
+        assert evaluation.scores[-1] != 0.0 or evaluation.scores[-2] != 0.0
+        assert evaluation.alert_events, "a score > 0 policy must fire"
+
+    def test_no_policy_means_no_events(self, trace):
+        evaluation = run_online_evaluation(LegacyThresholdDetector(seed=0),
+                                           trace, rescore_every=64)
+        assert evaluation.alert_events == []
+
+
+class TestQueryCli:
+    @pytest.fixture()
+    def capture(self, tmp_path):
+        rng = np.random.default_rng(2)
+        path = tmp_path / "scores.jsonl"
+        with open(path, "w") as handle:
+            for tenant in ("t0", "t1"):
+                scores = np.abs(rng.standard_normal(60))
+                scores[20:24] += 6.0
+                for i, score in enumerate(scores):
+                    row = {"tenant": tenant, "index": i, "score": float(score),
+                           "label": int(score > 3.0)}
+                    handle.write(json.dumps(row) + "\n")
+        return path
+
+    def test_query_end_to_end_with_multi_rule_policy(self, capture, capsys):
+        exit_code = main([
+            "query", "--from", str(capture),
+            "--ops", "mean:16,quantile:16:99,ewma:0.3",
+            "--policy", "score > 3.0 and "
+                        "(hysteresis(up=3.0, down=1.0) or quantile(q=95, window=16))",
+            "--check", "--tail", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "tenant t0" in output and "tenant t1" in output
+        assert output.count("bitwise-equal") == 6  # 3 ops x 2 tenants
+        assert "MISMATCH" not in output
+        assert "episodes" in output
+        assert "fired 'policy-0'" in output
+
+    def test_query_single_tenant_and_export_round_trip(self, capture,
+                                                       tmp_path, capsys):
+        out_path = tmp_path / "replay.jsonl"
+        exit_code = main(["query", "--from", str(capture), "--tenant", "t0",
+                          "--export", str(out_path)])
+        assert exit_code == 0
+        original = load_jsonl(capture)["t0"]
+        replayed = load_jsonl(out_path)
+        assert list(replayed) == ["t0"]
+        assert np.array_equal(replayed["t0"].scores, original.scores)
+        assert np.array_equal(replayed["t0"].labels, original.labels,
+                              equal_nan=True)
+
+    def test_query_unknown_tenant_fails(self, capture, capsys):
+        assert main(["query", "--from", str(capture), "--tenant", "nope"]) == 2
+        assert "available" in capsys.readouterr().out
+
+    def test_serve_export_then_query(self, tmp_path, capsys):
+        # The full capture/replay loop: serve a tiny stream, export, query.
+        capture = tmp_path / "served.jsonl"
+        exit_code = main([
+            "serve", "--tenants", "1", "--samples", str(3 * WINDOW),
+            "--services", "3", "--train-days", "1",
+            "--window-size", str(WINDOW), "--num-steps", "4",
+            "--epochs", "1", "--hidden-dim", "8", "--history", "128",
+            "--policy", "score > 0.0",
+            "--export-scores", str(capture)])
+        assert exit_code == 0
+        served = capsys.readouterr().out
+        assert "Alert events" in served
+        assert "Captured" in served
+
+        exit_code = main(["query", "--from", str(capture),
+                          "--ops", "mean:8", "--check",
+                          "--policy", "score > 0.0"])
+        assert exit_code == 0
+        replay = capsys.readouterr().out
+        assert "bitwise-equal" in replay and "MISMATCH" not in replay
+        assert "fired 'policy-0'" in replay

@@ -1,0 +1,160 @@
+"""Property tests: every incremental operator bit-matches its reference.
+
+The contract of :mod:`repro.analytics.operators` is *bitwise* agreement —
+no tolerance anywhere — on arbitrary streams, including NaN warm-up
+prefixes and injected NaNs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    EWMA,
+    Delta,
+    Lag,
+    Lead,
+    RollingMean,
+    RollingQuantile,
+    RollingRank,
+    RollingStd,
+    apply_pipeline,
+    parse_operator,
+    parse_pipeline,
+)
+
+
+def make_stream(length, seed, nan_fraction=0.0, nan_prefix=0):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(length) * rng.uniform(0.1, 10.0)
+    if nan_fraction:
+        mask = rng.random(length) < nan_fraction
+        values[mask] = np.nan
+    if nan_prefix:
+        values[:nan_prefix] = np.nan
+    return values
+
+
+ALL_OPERATORS = [
+    RollingMean(1), RollingMean(7), RollingMean(64),
+    RollingStd(5), RollingStd(32),
+    RollingQuantile(9, 50.0), RollingQuantile(16, 99.0), RollingQuantile(4, 0.0),
+    RollingRank(8), RollingRank(33),
+    Lag(0), Lag(1), Lag(5),
+    Lead(0), Lead(1), Lead(4),
+    Delta(1), Delta(3),
+    EWMA(0.2), EWMA(1.0), EWMA(0.05),
+]
+
+
+class TestBitwiseAgreement:
+    @pytest.mark.parametrize("operator", ALL_OPERATORS,
+                             ids=lambda op: op.describe())
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_incremental_matches_reference_bitwise(self, operator, seed):
+        values = make_stream(137, seed)
+        incremental = operator.clone().apply(values)
+        reference = operator.reference(values)
+        assert incremental.shape == reference.shape == values.shape
+        # Bitwise: array_equal with equal_nan, no isclose anywhere.
+        assert np.array_equal(incremental, reference, equal_nan=True)
+
+    @pytest.mark.parametrize("operator", ALL_OPERATORS,
+                             ids=lambda op: op.describe())
+    def test_agreement_survives_nan_inputs(self, operator):
+        values = make_stream(101, seed=7, nan_fraction=0.15, nan_prefix=9)
+        incremental = operator.clone().apply(values)
+        reference = operator.reference(values)
+        assert np.array_equal(incremental, reference, equal_nan=True)
+
+    @pytest.mark.parametrize("operator", ALL_OPERATORS,
+                             ids=lambda op: op.describe())
+    def test_streams_shorter_than_the_window(self, operator):
+        for length in (0, 1, 2, 3):
+            values = make_stream(length, seed=length)
+            incremental = operator.clone().apply(values)
+            reference = operator.reference(values)
+            assert np.array_equal(incremental, reference, equal_nan=True)
+
+    def test_apply_resets_state_between_streams(self):
+        operator = RollingMean(8)
+        first = make_stream(40, seed=3)
+        second = make_stream(40, seed=4)
+        operator.apply(first)
+        assert np.array_equal(operator.apply(second),
+                              operator.reference(second), equal_nan=True)
+
+
+class TestSemantics:
+    def test_mean_warm_up_uses_available_rows(self):
+        out = RollingMean(4).apply(np.array([2.0, 4.0, 6.0]))
+        assert np.array_equal(out, np.array([2.0, 3.0, 4.0]))
+
+    def test_lag_emits_nan_during_warm_up(self):
+        out = Lag(2).apply(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.isnan(out[:2]).all()
+        assert np.array_equal(out[2:], np.array([1.0, 2.0]))
+
+    def test_lead_is_delayed_but_aligned(self):
+        operator = Lead(2)
+        assert operator.delay == 2
+        out = operator.apply(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.array_equal(out[:2], np.array([3.0, 4.0]))
+        assert np.isnan(out[2:]).all()
+
+    def test_rank_counts_at_or_below(self):
+        out = RollingRank(3).apply(np.array([5.0, 1.0, 3.0, 9.0]))
+        assert np.array_equal(out, np.array([1.0, 1.0, 2.0, 3.0]))
+
+    def test_ewma_seeds_on_first_value(self):
+        out = EWMA(0.5).apply(np.array([4.0, 0.0]))
+        assert out[0] == 4.0 and out[1] == 2.0
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            RollingMean(0)
+        with pytest.raises(ValueError):
+            RollingQuantile(4, 101.0)
+        with pytest.raises(ValueError):
+            Delta(0)
+        with pytest.raises(ValueError):
+            EWMA(0.0)
+        with pytest.raises(ValueError):
+            Lag(-1)
+
+
+class TestParsing:
+    def test_parse_operator_specs(self):
+        assert parse_operator("mean:64").describe() == "mean:64"
+        assert parse_operator("quantile:64:95").describe() == "quantile:64:95"
+        assert parse_operator("ewma:0.3").describe() == "ewma:0.3"
+        assert parse_operator("lag").describe() == "lag:1"
+
+    def test_parse_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            parse_operator("median:8")
+
+    def test_parse_bad_argument(self):
+        with pytest.raises(ValueError, match="bad operator spec"):
+            parse_operator("mean:sixty")
+
+    def test_parse_pipeline(self):
+        operators = parse_pipeline("mean:8, std:8, quantile:8:90")
+        assert [op.describe() for op in operators] == [
+            "mean:8", "std:8", "quantile:8:90"]
+        with pytest.raises(ValueError, match="empty"):
+            parse_pipeline(" , ")
+
+    def test_apply_pipeline_engines_agree(self):
+        values = make_stream(96, seed=11, nan_fraction=0.1)
+        operators = parse_pipeline("mean:16,std:16,quantile:16:99,rank:16,"
+                                   "lag:2,lead:2,delta:2,ewma:0.25")
+        incremental = apply_pipeline(operators, values, engine="incremental")
+        reference = apply_pipeline(operators, values, engine="reference")
+        assert incremental.keys() == reference.keys()
+        for name in incremental:
+            assert np.array_equal(incremental[name], reference[name],
+                                  equal_nan=True), name
+
+    def test_apply_pipeline_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            apply_pipeline(parse_pipeline("mean:4"), np.zeros(4), engine="gpu")

@@ -1,0 +1,181 @@
+"""The declarative alert-policy engine: grammar, rules and edge semantics.
+
+Every rule's incremental activity series must match its naive reference on
+random streams — the same incremental-vs-recompute contract the operator
+library carries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    AllOf,
+    AnyOf,
+    EpisodeRule,
+    HysteresisRule,
+    QuantileRule,
+    ThresholdRule,
+    parse_policy,
+)
+
+
+def make_scores(length, seed, spikes=True):
+    rng = np.random.default_rng(seed)
+    scores = np.abs(rng.standard_normal(length))
+    if spikes:
+        idx = rng.choice(length, size=max(1, length // 12), replace=False)
+        scores[idx] += rng.uniform(3.0, 8.0, idx.shape[0])
+    return scores
+
+
+def incremental_activity(rule, scores):
+    rule = rule.clone()
+    return np.asarray([rule.update(i, float(s)) for i, s in enumerate(scores)],
+                      dtype=bool)
+
+
+ALL_RULES = [
+    ThresholdRule(1.5), ThresholdRule(0.5, "<="), ThresholdRule(2.0, ">="),
+    HysteresisRule(up=2.0, down=0.5), HysteresisRule(up=1.0, down=1.0),
+    EpisodeRule(threshold=1.5, min_len=1, gap=0),
+    EpisodeRule(threshold=1.5, min_len=3, gap=2),
+    EpisodeRule(threshold=2.5, min_len=2, gap=4),
+    QuantileRule(q=90.0, window=16, mult=1.0),
+    QuantileRule(q=99.0, window=8, mult=1.5),
+    AllOf([ThresholdRule(1.0), HysteresisRule(up=2.0, down=0.5)]),
+    AnyOf([EpisodeRule(threshold=2.0, min_len=2, gap=1),
+           QuantileRule(q=95.0, window=12)]),
+    AllOf([AnyOf([ThresholdRule(0.5), ThresholdRule(3.0)]),
+           EpisodeRule(threshold=0.5, min_len=1, gap=1)]),
+]
+
+
+class TestIncrementalMatchesReference:
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.describe())
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_streams(self, rule, seed):
+        scores = make_scores(173, seed)
+        assert np.array_equal(incremental_activity(rule, scores),
+                              rule.reference(scores))
+
+    @pytest.mark.parametrize("rule", ALL_RULES, ids=lambda r: r.describe())
+    def test_short_streams(self, rule):
+        for length in (0, 1, 3):
+            scores = make_scores(length, seed=length, spikes=False)
+            assert np.array_equal(incremental_activity(rule, scores),
+                                  rule.reference(scores))
+
+
+class TestRuleSemantics:
+    def test_hysteresis_damps_flapping(self):
+        rule = HysteresisRule(up=1.0, down=0.2)
+        stream = [1.5, 0.5, 0.5, 0.1, 1.5]
+        assert incremental_activity(rule, stream).tolist() == [
+            True, True, True, False, True]
+
+    def test_hysteresis_validates_band(self):
+        with pytest.raises(ValueError, match="down <= up"):
+            HysteresisRule(up=0.5, down=1.0)
+
+    def test_episode_rule_stays_active_through_merged_gap(self):
+        rule = EpisodeRule(threshold=0.5, min_len=1, gap=1)
+        stream = [1.0, 0.0, 1.0, 0.0, 0.0, 1.0]
+        assert incremental_activity(rule, stream).tolist() == [
+            True, True, True, True, False, True]
+
+    def test_episode_rule_needs_min_len(self):
+        rule = EpisodeRule(threshold=0.5, min_len=3, gap=0)
+        stream = [1.0, 1.0, 1.0, 0.0]
+        assert incremental_activity(rule, stream).tolist() == [
+            False, False, True, False]
+
+    def test_quantile_rule_warm_up_is_inactive(self):
+        rule = QuantileRule(q=50.0, window=4, mult=1.0)
+        stream = np.array([1.0, 1.0, 1.0, 1.0, 9.0])
+        activity = incremental_activity(rule, stream)
+        assert not activity[:4].any()
+        assert activity[4]
+
+    def test_quantile_baseline_excludes_current_score(self):
+        # A lone spike cannot lift its own baseline.
+        rule = QuantileRule(q=100.0, window=2, mult=1.0)
+        assert incremental_activity(rule, [1.0, 1.0, 5.0]).tolist() == [
+            False, False, True]
+
+    def test_combinators_never_short_circuit(self):
+        # The hysteresis rule only works if it sees every score, even while
+        # the AND's first child is false.
+        rule = AllOf([ThresholdRule(10.0, "<"), HysteresisRule(up=2.0, down=0.5)])
+        scores = np.array([3.0, 20.0, 1.0])
+        assert np.array_equal(incremental_activity(rule, scores),
+                              rule.reference(scores))
+        assert incremental_activity(rule, scores).tolist() == [True, False, True]
+
+
+class TestGrammar:
+    def test_parse_threshold(self):
+        policy = parse_policy("score > 0.8")
+        assert policy.root.describe() == "score > 0.8"
+
+    def test_parse_nested_expression(self):
+        policy = parse_policy(
+            "score > 0.5 and (episode(threshold=0.5, min_len=3, gap=2) "
+            "or quantile(q=99, window=64, mult=1.5))")
+        assert isinstance(policy.root, AllOf)
+        assert isinstance(policy.root.children[1], AnyOf)
+        assert "episode(threshold=0.5, min_len=3, gap=2)" in policy.root.describe()
+
+    def test_and_binds_tighter_than_or(self):
+        policy = parse_policy("score > 1 or score > 2 and score > 3")
+        assert isinstance(policy.root, AnyOf)
+        assert isinstance(policy.root.children[1], AllOf)
+
+    def test_parse_errors(self):
+        for text, match in [
+            ("", "empty"),
+            ("score >", "unexpected end"),
+            ("score > 1 banana", "trailing|unknown"),
+            ("volume > 1", "unknown rule"),
+            ("hysteresis(up=1)", "missing required"),
+            ("episode(threshold=1, nope=2)", "unknown parameter"),
+            ("hysteresis(up=1, up=2, down=0)", "duplicate"),
+            ("score > 1 and (score > 2", "expected rparen|unexpected end"),
+            ("score ! 1", "bad policy syntax|expected"),
+        ]:
+            with pytest.raises(ValueError, match=match):
+                parse_policy(text)
+
+    def test_parsed_policy_matches_hand_built(self):
+        scores = make_scores(120, seed=5)
+        parsed = parse_policy("score > 1.5 and hysteresis(up=2.0, down=0.5)")
+        built = AllOf([ThresholdRule(1.5), HysteresisRule(up=2.0, down=0.5)])
+        assert np.array_equal(parsed.evaluate_reference(scores),
+                              built.reference(scores))
+
+
+class TestMonitorEdges:
+    def test_events_fire_on_edges_only(self):
+        policy = parse_policy("score > 1.0", name="spike")
+        monitor = policy.monitor("t0")
+        stream = [0.5, 2.0, 3.0, 0.1, 2.0]
+        events = []
+        for i, score in enumerate(stream):
+            events.extend(monitor.update(i, score))
+        assert [(e.kind, e.index) for e in events] == [
+            ("fired", 1), ("resolved", 3), ("fired", 4)]
+        assert all(e.policy == "spike" and e.tenant == "t0" for e in events)
+
+    def test_monitors_are_per_tenant(self):
+        policy = parse_policy("hysteresis(up=1.0, down=0.2)")
+        a, b = policy.monitor("a"), policy.monitor("b")
+        assert a.update(0, 5.0) and a.active
+        assert not b.active  # b's rule state is untouched
+        assert b.update(0, 0.0) == []
+
+    def test_activity_series_matches_reference(self):
+        scores = make_scores(90, seed=8)
+        policy = parse_policy(
+            "score > 1.0 and (hysteresis(up=2.0, down=0.5) "
+            "or episode(threshold=1.0, min_len=2, gap=1))")
+        assert np.array_equal(policy.monitor("t").activity(scores),
+                              policy.evaluate_reference(scores))

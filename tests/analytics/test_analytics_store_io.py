@@ -1,0 +1,161 @@
+"""The bounded score store (watermark contract) and its JSONL capture format."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    ScoreStore,
+    export_jsonl,
+    load_jsonl,
+    streams_to_store,
+)
+
+
+def fill(store, tenant, count, seed=0, labels=True, start=0):
+    rng = np.random.default_rng(seed)
+    scores = rng.random(count)
+    label_col = (rng.random(count) < 0.2).astype(np.float64) if labels else None
+    store.append(tenant, start, scores, label_col)
+    return scores, label_col
+
+
+class TestScoreStore:
+    def test_append_advances_watermark(self):
+        store = ScoreStore(history=64)
+        scores, labels = fill(store, "a", 10)
+        assert store.watermark("a") == 10
+        view = store.view("a")
+        assert view.start == 0 and view.end == 10
+        assert np.array_equal(view.scores, scores)
+        assert np.array_equal(view.label_array(), labels.astype(np.int64))
+
+    def test_append_must_start_at_watermark(self):
+        store = ScoreStore(history=64)
+        fill(store, "a", 10)
+        with pytest.raises(ValueError, match="watermark"):
+            store.append("a", 5, np.zeros(3))
+        with pytest.raises(ValueError, match="watermark"):
+            store.append("a", 11, np.zeros(3))
+
+    def test_eviction_keeps_newest_history(self):
+        store = ScoreStore(history=16)
+        scores = np.arange(40, dtype=np.float64)
+        for i in range(40):
+            store.append("a", i, scores[i:i + 1])
+        assert store.watermark("a") == 40
+        assert store.retained_from("a") == 24
+        assert store.evicted("a") == 24
+        view = store.view("a")
+        assert view.start == 24 and view.end == 40
+        assert np.array_equal(view.scores, scores[24:])
+
+    def test_view_clamps_to_retained_range(self):
+        store = ScoreStore(history=8)
+        fill(store, "a", 20)
+        view = store.view("a", start=0, end=100)
+        assert view.start == 12 and view.end == 20
+
+    def test_tail(self):
+        store = ScoreStore(history=32)
+        scores, _ = fill(store, "a", 20)
+        tail = store.tail("a", 5)
+        assert tail.start == 15 and tail.end == 20
+        assert np.array_equal(tail.scores, scores[15:])
+
+    def test_labels_optional_and_nan_coerced(self):
+        store = ScoreStore(history=8)
+        store.append("a", 0, np.array([0.5, 0.6]))
+        view = store.view("a")
+        assert np.isnan(view.labels).all()
+        assert np.array_equal(view.label_array(), np.array([0, 0]))
+
+    def test_skip_to_marks_prefix_invalid(self):
+        store = ScoreStore(history=64)
+        store.skip_to("a", 100)
+        assert store.watermark("a") == 100
+        assert store.retained_from("a") == 100
+        store.append("a", 100, np.array([1.0, 2.0]))
+        view = store.view("a")
+        assert view.start == 100 and view.end == 102
+
+    def test_skip_backwards_is_a_noop(self):
+        store = ScoreStore(history=64)
+        fill(store, "a", 10)
+        store.skip_to("a", 5)
+        assert store.watermark("a") == 10
+        assert store.retained_from("a") == 0
+
+    def test_unknown_tenant_raises(self):
+        store = ScoreStore()
+        with pytest.raises(KeyError, match="unknown tenant"):
+            store.view("ghost")
+
+    def test_tenants_sorted_and_contains(self):
+        store = ScoreStore()
+        store.register_tenant("b")
+        store.register_tenant("a")
+        assert store.tenants() == ["a", "b"]
+        assert "a" in store and "ghost" not in store
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        store = ScoreStore(history=64)
+        fill(store, "a", 30, seed=1)
+        fill(store, "b", 12, seed=2)
+        store.append("c", 0, np.array([0.1, 0.2]))  # label-less tenant
+
+        path = tmp_path / "scores.jsonl"
+        assert export_jsonl(path, store) == 44
+        streams = load_jsonl(path)
+        assert sorted(streams) == ["a", "b", "c"]
+        for tenant in store.tenants():
+            original, loaded = store.view(tenant), streams[tenant]
+            assert loaded.start == original.start
+            assert np.array_equal(loaded.scores, original.scores)
+            assert np.array_equal(loaded.labels, original.labels, equal_nan=True)
+
+    def test_round_trip_through_eviction_boundary(self, tmp_path):
+        store = ScoreStore(history=16)
+        rng = np.random.default_rng(3)
+        for i in range(50):
+            store.append("a", i, rng.random(1), rng.integers(0, 2, 1))
+        path = tmp_path / "scores.jsonl"
+        export_jsonl(path, store)
+        loaded = load_jsonl(path)["a"]
+        assert loaded.start == 34 and loaded.end == 50
+        assert np.array_equal(loaded.scores, store.view("a").scores)
+
+        # Replaying into a fresh store re-establishes the absolute indices.
+        replayed = streams_to_store(load_jsonl(path))
+        assert replayed.watermark("a") == 50
+        assert replayed.retained_from("a") == 34
+        assert np.array_equal(replayed.view("a").scores, loaded.scores)
+
+    def test_load_tolerates_shuffled_lines(self, tmp_path):
+        store = ScoreStore(history=32)
+        fill(store, "a", 10, seed=4)
+        path = tmp_path / "scores.jsonl"
+        export_jsonl(path, store)
+        lines = path.read_text().strip().split("\n")
+        path.write_text("\n".join(reversed(lines)) + "\n")
+        loaded = load_jsonl(path)["a"]
+        assert np.array_equal(loaded.scores, store.view("a").scores)
+
+    def test_load_rejects_gaps_and_bad_rows(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"tenant": "a", "index": 0, "score": 1.0}\n'
+                        '{"tenant": "a", "index": 2, "score": 1.0}\n')
+        with pytest.raises(ValueError, match="non-contiguous"):
+            load_jsonl(path)
+        path.write_text('{"tenant": "a", "score": 1.0}\n')
+        with pytest.raises(ValueError, match="bad score row"):
+            load_jsonl(path)
+
+    def test_export_accepts_plain_stream_mapping(self, tmp_path):
+        store = ScoreStore(history=8)
+        fill(store, "a", 5, seed=5)
+        streams = {"a": store.view("a")}
+        path = tmp_path / "scores.jsonl"
+        assert export_jsonl(path, streams) == 5
+        assert np.array_equal(load_jsonl(path)["a"].scores, streams["a"].scores)

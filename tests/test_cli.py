@@ -30,6 +30,24 @@ class TestParser:
         args = build_parser().parse_args(["compare", "--detectors", "IForest, TranAD"])
         assert args.detectors == "IForest, TranAD"
 
+    def test_serve_takes_analytics_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--policy", "score > 0.5", "--policy",
+             "hysteresis(up=1, down=0.2)", "--export-scores", "out.jsonl"])
+        assert args.policies == ["score > 0.5", "hysteresis(up=1, down=0.2)"]
+        assert args.export_scores == "out.jsonl"
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "--from", "scores.jsonl"])
+        assert args.from_path == "scores.jsonl"
+        assert args.tenant is None and args.ops is None
+        assert args.policies is None and args.check is False
+        assert args.episode_gap == 2 and args.episode_min_length == 1
+
+    def test_query_requires_from(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):
