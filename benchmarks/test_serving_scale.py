@@ -1,0 +1,255 @@
+"""Serving-scale benchmark: sharded inference under a 100+ tenant stream.
+
+The sharded inference engine fans flushed cross-tenant batches across
+scoring workers that receive parameters through the zero-copy shared-memory
+transport.  Three properties are validated and recorded here:
+
+* **bit-identity** — a :class:`~repro.serving.DetectorService` whose scorer
+  runs a :class:`~repro.inference.MultiprocessScoreReducer` at
+  ``num_workers=1`` must reproduce the in-process serial service bit for bit
+  (``np.array_equal`` on every tenant's scores AND labels): moving the
+  computation into a worker process changes nothing.  CI greps the
+  ``bit-identity`` line this test prints.
+* **throughput** — streaming ``TENANTS x POINTS`` (default 128 x 100 =
+  12.8k points) through a ``score_workers=4`` service must beat the serial
+  service (target 1.7x; the gate adapts to the machine's core count,
+  because a single-core runner cannot win by adding processes).
+* **latency** — the p99 of the post-merge alarm scan (decide + analytics
+  over every dirty tenant) must stay within a budget even at 100+ tenants.
+
+Every run appends its numbers to ``BENCH_serving_scale.json`` (path
+overridable via ``REPRO_BENCH_SERVING_OUTPUT``).  The stream is resized with
+``REPRO_BENCH_SERVING_TENANTS`` / ``REPRO_BENCH_SERVING_POINTS``, the pool
+with ``REPRO_BENCH_SERVING_WORKERS``; ``REPRO_BENCH_SERVING_MIN_SPEEDUP``
+overrides the throughput gate and ``REPRO_BENCH_SERVING_P99_BUDGET_MS`` the
+alarm-scan budget.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.core.detector import ImputationScoreSpec
+from repro.inference import MultiprocessScoreReducer
+from repro.serving import DetectorService, ServingConfig
+
+from ._helpers import print_header, run_once
+
+NUM_TENANTS = int(os.environ.get("REPRO_BENCH_SERVING_TENANTS", "128"))
+POINTS_PER_TENANT = int(os.environ.get("REPRO_BENCH_SERVING_POINTS", "100"))
+NUM_WORKERS = int(os.environ.get("REPRO_BENCH_SERVING_WORKERS", "4"))
+OUTPUT = os.environ.get("REPRO_BENCH_SERVING_OUTPUT", "BENCH_serving_scale.json")
+P99_BUDGET_MS = float(os.environ.get("REPRO_BENCH_SERVING_P99_BUDGET_MS", "250"))
+SPEEDUP_TARGET = 1.7
+NUM_CHANNELS = 4
+
+# A pool that does not fit in the machine's cores cannot win by adding
+# processes: the core-count guard disables the throughput gate there, and
+# the env knob only tunes the threshold used on capable machines (default
+# 1.3 rather than the 1.7 target, as shared CI runners are noisy).
+_CORES = os.cpu_count() or 1
+if _CORES < NUM_WORKERS:
+    MIN_SPEEDUP = 0.0
+else:
+    MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVING_MIN_SPEEDUP", "1.3"))
+
+
+def _record(payload: dict) -> None:
+    """Append this run's numbers to the JSON artifact tracked by CI."""
+    history = []
+    if os.path.exists(OUTPUT):
+        try:
+            with open(OUTPUT) as handle:
+                history = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(payload)
+    with open(OUTPUT, "w") as handle:
+        json.dump(history, handle, indent=2)
+
+
+def _fitted_detector() -> ImDiffusionDetector:
+    """Smallest configuration that still exercises the full scoring stack."""
+    detector = ImDiffusionDetector(ImDiffusionConfig(
+        window_size=16, num_steps=4, epochs=1, hidden_dim=8, num_blocks=1,
+        num_heads=2, max_train_windows=16, num_masked_windows=2,
+        num_unmasked_windows=2, deterministic_inference=True, collect="x0",
+        batch_size=32, seed=0))
+    rng = np.random.default_rng(0)
+    t = np.arange(400)
+    train = (1.0 + 0.3 * np.sin(2 * np.pi * t / 96)[:, None]
+             * np.ones((1, NUM_CHANNELS))
+             + 0.05 * rng.standard_normal((400, NUM_CHANNELS)))
+    return detector.fit(train)
+
+
+def _tenant_streams(num_tenants: int, points: int, seed: int = 1):
+    """Seasonal per-tenant streams with sparse injected level shifts."""
+    streams = {}
+    for i in range(num_tenants):
+        rng = np.random.default_rng(seed + i)
+        t = np.arange(points)
+        series = (1.0 + 0.3 * np.sin(2 * np.pi * t / 96)[:, None]
+                  * np.ones((1, NUM_CHANNELS))
+                  + 0.05 * rng.standard_normal((points, NUM_CHANNELS)))
+        start = points // 2 + (i % 7)
+        series[start:start + 6] *= 1.8
+        streams[f"tenant-{i:03d}"] = series
+    return streams
+
+
+def _stream_through(service: DetectorService, streams, chunk: int = 4):
+    """Push every stream through ``service`` in interleaved chunks."""
+    alarms = []
+    points = next(iter(streams.values())).shape[0]
+    with service:
+        for step in range(0, points, chunk):
+            for tenant, series in streams.items():
+                alarms.extend(service.ingest(tenant, series[step:step + chunk]))
+            alarms.extend(service.pump())
+        alarms.extend(service.drain())
+        views = {tenant: service.tenant_view(tenant) for tenant in streams}
+    return alarms, views
+
+
+def test_single_worker_bit_identity(benchmark):
+    """A 1-worker scoring pool must reproduce the serial service bitwise."""
+    detector = _fitted_detector()
+    streams = _tenant_streams(24, 64)
+
+    def run():
+        serial_service = DetectorService(copy.deepcopy(detector),
+                                         ServingConfig(flush_size=16))
+        serial = _stream_through(serial_service, streams)
+
+        pooled_detector = copy.deepcopy(detector)
+        pooled_service = DetectorService(pooled_detector,
+                                         ServingConfig(flush_size=16))
+        # ServingConfig(score_workers=1) deliberately means "in-process", so
+        # the 1-worker pool gate swaps the reducer in explicitly: same spec,
+        # same plan, computed inside one spawned worker.
+        pooled_service.scorer._reducer = MultiprocessScoreReducer(
+            ImputationScoreSpec(pooled_detector), 1)
+        pooled = _stream_through(pooled_service, streams)
+        return serial, pooled
+
+    (serial_alarms, serial_views), (pooled_alarms, pooled_views) = \
+        run_once(benchmark, run)
+
+    identical = (
+        [(a.tenant, a.index, a.score) for a in serial_alarms]
+        == [(a.tenant, a.index, a.score) for a in pooled_alarms]
+        and all(np.array_equal(serial_views[t].scores, pooled_views[t].scores)
+                and np.array_equal(serial_views[t].labels, pooled_views[t].labels)
+                for t in serial_views)
+    )
+
+    print_header("Sharded inference: serial service vs "
+                 "MultiprocessScoreReducer(num_workers=1)")
+    print(f"tenants={len(serial_views)}  alarms={len(serial_alarms)}")
+    print("bit-identity (serial vs MultiprocessScoreReducer num_workers=1): "
+          + ("OK" if identical else "FAILED"))
+
+    _record({
+        "benchmark": "serving_bit_identity",
+        "tenants": len(serial_views),
+        "alarms": len(serial_alarms),
+        "bit_identical": bool(identical),
+    })
+    assert identical, (
+        "a 1-worker scoring pool diverged from the in-process serial service")
+
+
+def test_sharded_throughput_and_latency(benchmark):
+    """Sharded scoring must beat the serial service at 100+ tenant scale."""
+    detector = _fitted_detector()
+    streams = _tenant_streams(NUM_TENANTS, POINTS_PER_TENANT)
+    total_points = NUM_TENANTS * POINTS_PER_TENANT
+
+    def timed_stream(score_workers):
+        config = ServingConfig(flush_size=32, max_pending=256,
+                               history=4 * POINTS_PER_TENANT,
+                               score_workers=score_workers)
+        # Pool spawn is a one-off service start-up cost, not steady-state
+        # serving; the timer starts after construction.
+        service = DetectorService(copy.deepcopy(detector), config)
+        started = time.perf_counter()
+        alarms, _ = _stream_through(service, streams)
+        seconds = time.perf_counter() - started
+        return service.metrics.snapshot(), len(alarms), seconds
+
+    def run():
+        serial_snap, serial_alarms, serial_seconds = timed_stream(1)
+        shard_snap, shard_alarms, shard_seconds = timed_stream(NUM_WORKERS)
+        return (serial_snap, serial_alarms, serial_seconds,
+                shard_snap, shard_alarms, shard_seconds)
+
+    (serial_snap, serial_alarms, serial_seconds,
+     shard_snap, shard_alarms, shard_seconds) = run_once(benchmark, run)
+
+    speedup = serial_seconds / max(shard_seconds, 1e-9)
+    serial_pps = total_points / max(serial_seconds, 1e-9)
+    shard_pps = total_points / max(shard_seconds, 1e-9)
+    scan_p99_ms = 1000 * serial_snap["alarm_scan_latency_p99"]
+
+    print_header(f"Sharded inference: {NUM_TENANTS} tenants x "
+                 f"{POINTS_PER_TENANT} points ({total_points} total), "
+                 f"1 vs {NUM_WORKERS} score workers ({_CORES} cores available)")
+    print(f"serial stream (1 worker)     : {serial_seconds:8.2f}s "
+          f"({serial_pps:9.1f} points/s)")
+    print(f"sharded stream ({NUM_WORKERS} workers)   : {shard_seconds:8.2f}s "
+          f"({shard_pps:9.1f} points/s)")
+    print(f"throughput speedup           : {speedup:8.2f}x "
+          f"(target {SPEEDUP_TARGET}x)")
+    print(f"scoring latency p50/p99 (ms) : "
+          f"{1000 * serial_snap['scoring_latency_p50']:8.2f} / "
+          f"{1000 * serial_snap['scoring_latency_p99']:8.2f}")
+    print(f"alarm scan p50/p99 (ms)      : "
+          f"{1000 * serial_snap['alarm_scan_latency_p50']:8.2f} / "
+          f"{scan_p99_ms:8.2f} (budget {P99_BUDGET_MS:.0f})")
+
+    _record({
+        "benchmark": "sharded_throughput_latency",
+        "tenants": NUM_TENANTS,
+        "points_per_tenant": POINTS_PER_TENANT,
+        "total_points": total_points,
+        "num_workers": NUM_WORKERS,
+        "cpu_count": _CORES,
+        "serial_seconds": serial_seconds,
+        "sharded_seconds": shard_seconds,
+        "serial_points_per_second": serial_pps,
+        "sharded_points_per_second": shard_pps,
+        "speedup": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "scoring_latency_p50_ms": 1000 * serial_snap["scoring_latency_p50"],
+        "scoring_latency_p99_ms": 1000 * serial_snap["scoring_latency_p99"],
+        "alarm_scan_latency_p50_ms":
+            1000 * serial_snap["alarm_scan_latency_p50"],
+        "alarm_scan_latency_p99_ms": scan_p99_ms,
+        "alarm_scan_p99_budget_ms": P99_BUDGET_MS,
+        "serial_alarms": serial_alarms,
+        "sharded_alarms": shard_alarms,
+    })
+
+    # Alarm count is a cheap worker-count-invariance cross-check: the
+    # sharded run must raise exactly the serial alarms.
+    assert serial_alarms == shard_alarms, (
+        "sharded service raised different alarms than the serial service")
+    assert scan_p99_ms <= P99_BUDGET_MS, (
+        f"alarm-scan p99 {scan_p99_ms:.1f}ms blew the {P99_BUDGET_MS:.0f}ms "
+        f"budget at {NUM_TENANTS} tenants")
+    if MIN_SPEEDUP > 0:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{NUM_WORKERS}-worker serving is only {speedup:.2f}x faster "
+            f"than serial (gate {MIN_SPEEDUP}x, target {SPEEDUP_TARGET}x)")
+    else:
+        print(f"throughput gate skipped: {_CORES} core(s) cannot host "
+              f"{NUM_WORKERS} scoring workers")

@@ -66,12 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--num-workers", type=int, default=1,
                         help="data-parallel training: gradient workers per "
                              "batch (default: 1, in-process)")
+    detect.add_argument("--score-workers", type=int, default=1,
+                        help="sharded inference: fan the scoring pass across "
+                             "this many spawned workers (default: 1, "
+                             "in-process; scores are identical for every "
+                             "worker count)")
     _add_engine_arguments(detect)
 
     compare = subparsers.add_parser("compare", help="compare several detectors on one dataset")
     _add_dataset_arguments(compare)
     compare.add_argument("--detectors", default="ImDiffusion,IForest,LSTM-AD",
                          help="comma-separated detector names (ImDiffusion or any baseline)")
+    compare.add_argument("--score-workers", type=int, default=1,
+                         help="sharded inference for detectors that support "
+                              "it (ImDiffusion); baselines score in-process")
     _add_validation_arguments(compare)
 
     train = subparsers.add_parser(
@@ -141,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds a window may wait before an age-based flush")
     serve.add_argument("--history", type=int, default=512,
                        help="per-tenant sliding evaluation buffer (samples)")
+    serve.add_argument("--score-workers", type=int, default=1,
+                       help="sharded inference: fan flushed cross-tenant "
+                            "batches across this many scoring workers "
+                            "(default: 1, in-process)")
     serve.add_argument("--registry", default=None,
                        help="model registry directory (default: a temp dir)")
     serve.add_argument("--model-name", default="latency-monitor",
@@ -257,7 +269,8 @@ def _run_detect(args: argparse.Namespace) -> int:
     detector = ImDiffusionDetector(config)
     print(f"Training ImDiffusion on {dataset.name} "
           f"(train={dataset.train.shape}, test={dataset.test.shape}) ...")
-    result = detector.fit_predict(dataset.train, dataset.test)
+    result = detector.fit_predict(dataset.train, dataset.test,
+                                  score_workers=args.score_workers)
     metrics = evaluate_labels(result.labels, result.scores, dataset.test_labels)
     print(f"precision={metrics.precision:.3f} recall={metrics.recall:.3f} "
           f"f1={metrics.f1:.3f} r_auc_pr={metrics.r_auc_pr:.3f} add={metrics.add:.1f}")
@@ -429,7 +442,12 @@ def _run_compare(args: argparse.Namespace) -> int:
                                   validation_fraction=args.validation_fraction,
                                   validation_split=args.validation_split)
         print(f"Running {name} on {dataset.name} ...")
-        result = detector.fit_predict(dataset.train, dataset.test)
+        if (args.score_workers > 1 and "score_workers"
+                in inspect.signature(detector.fit_predict).parameters):
+            result = detector.fit_predict(dataset.train, dataset.test,
+                                          score_workers=args.score_workers)
+        else:
+            result = detector.fit_predict(dataset.train, dataset.test)
         metrics = evaluate_labels(result.labels, result.scores, dataset.test_labels)
         summaries.append(EvaluationSummary(detector=name, dataset=dataset.name, runs=[metrics]))
     print()
@@ -491,18 +509,22 @@ def _run_serve(args: argparse.Namespace) -> int:
     # --- Stream all tenants concurrently through one service. ---------------
     service = DetectorService(detector, ServingConfig(
         flush_size=args.flush_size, flush_age=args.flush_age,
-        history=args.history, alert_policies=args.policies or ()))
+        history=args.history, alert_policies=args.policies or (),
+        score_workers=args.score_workers))
     for tenant in traces:
         service.register_tenant(tenant)
 
+    if args.score_workers > 1:
+        print(f"Sharded inference: {args.score_workers} scoring workers")
     print(f"Streaming {args.tenants} tenants x {args.samples} samples ...")
     alarms = []
-    for step in range(args.samples):
-        for tenant, (_, test, _) in traces.items():
-            if step < test.shape[0]:
-                alarms.extend(service.ingest(tenant, test[step]))
-        alarms.extend(service.pump())
-    alarms.extend(service.drain())
+    with service:
+        for step in range(args.samples):
+            for tenant, (_, test, _) in traces.items():
+                if step < test.shape[0]:
+                    alarms.extend(service.ingest(tenant, test[step]))
+            alarms.extend(service.pump())
+        alarms.extend(service.drain())
 
     # --- Report accuracy per tenant and service telemetry. ------------------
     print()

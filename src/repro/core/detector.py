@@ -26,6 +26,12 @@ import numpy as np
 from ..data.preprocessing import StandardScaler
 from ..data.windows import sliding_windows
 from ..diffusion import GaussianDiffusion, ImputedDiffusion, make_schedule
+from ..inference import (
+    MultiprocessScoreReducer,
+    ScoreSpec,
+    ScoreTask,
+    SerialScoreReducer,
+)
 from ..models import ImTransformer
 from ..nn import Adam, CosineLR, StepLR, no_grad
 from ..nn.serialization import load_checkpoint
@@ -42,7 +48,8 @@ from .config import ImDiffusionConfig
 from .ensemble import EnsembleDecision, EnsembleVoter
 from .modes import build_masks, recommended_stride
 
-__all__ = ["DetectionResult", "ImDiffusionDetector", "ImputationLossSpec"]
+__all__ = ["DetectionResult", "ImDiffusionDetector", "ImputationLossSpec",
+           "ImputationScoreSpec"]
 
 
 class ImputationLossSpec(ParallelLossSpec):
@@ -81,6 +88,61 @@ class ImputationLossSpec(ParallelLossSpec):
     def weight(self, batch, payload) -> float:
         policies = payload[0]
         return float((1.0 - self.masks_arr[policies]).sum())
+
+
+class ImputationScoreSpec(ScoreSpec):
+    """The scoring pass of a fitted detector, factored for sharded inference.
+
+    ``plan`` decomposes one batched scoring call into (mask policy, window
+    chunk) tasks in exactly the serial loop's order — policy-major, chunked
+    by ``config.batch_size``; ``draw`` pre-draws each task's reverse-diffusion
+    noise on the parent generator in that same order (so the random stream is
+    identical to the serial path for *every* worker count); ``compute`` is
+    the pure, rng-free imputation-error kernel of one task, delegating to
+    :meth:`ImDiffusionDetector._impute_window_errors` so the error formula
+    cannot drift between the serial and sharded paths.
+
+    The spec is spawn-safe: it ships the (picklable) fitted detector to each
+    worker once at pool start-up; per-task messages carry only windows and
+    noise, while parameters travel through the shared-memory block.
+    """
+
+    def __init__(self, detector: "ImDiffusionDetector") -> None:
+        detector._check_fitted()
+        self.detector = detector
+        config = detector.config
+        self.masks = build_masks(config, config.window_size,
+                                 detector.num_features)
+        self.batch_size = int(config.batch_size)
+        self.sampler = config.build_sampler()
+        self.deterministic = bool(config.deterministic_inference)
+
+    def parent_parameters(self):
+        return self.detector._imputer.model.parameters()
+
+    def build(self):
+        model = self.detector._imputer.model
+        model.eval()  # workers are inference-only replicas
+        return model.parameters()
+
+    def plan(self, num_windows: int):
+        return [ScoreTask(policy_index=policy_index, start=start,
+                          stop=min(start + self.batch_size, num_windows))
+                for policy_index in range(len(self.masks))
+                for start in range(0, num_windows, self.batch_size)]
+
+    def draw(self, windows, task: ScoreTask, rng):
+        return self.detector._imputer.draw_impute_noise(
+            windows[task.start:task.stop], rng,
+            sampler=self.sampler, deterministic=self.deterministic)
+
+    def compute(self, windows, task: ScoreTask, payload):
+        return {
+            progress: squared
+            for progress, squared in self.detector._impute_window_errors(
+                windows, self.masks[task.policy_index], task.policy_index,
+                rng=None, sampler=self.sampler, noise=payload)
+        }
 
 
 @dataclass
@@ -366,7 +428,8 @@ class ImDiffusionDetector:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
-    def score(self, test: np.ndarray) -> Dict[int, np.ndarray]:
+    def score(self, test: np.ndarray,
+              score_workers: int = 1) -> Dict[int, np.ndarray]:
         """Per-timestamp imputation error for every visited denoising step.
 
         Returns a mapping ``progress -> errors`` where progress ``k`` runs
@@ -379,8 +442,18 @@ class ImDiffusionDetector:
         The whole pass runs grad-free: the denoiser is switched to eval mode
         and every reverse-diffusion call executes under
         :class:`repro.nn.no_grad`, so no autograd graph is ever built.
+
+        ``score_workers > 1`` fans the (mask policy, window chunk) task plan
+        out across that many spawned scoring workers (see
+        :mod:`repro.inference`).  All randomness is still drawn on the
+        detector's generator in the serial order and results are accumulated
+        in the serial order, so the scores — and the generator state
+        afterwards — are identical to the serial path for every worker
+        count.
         """
         self._check_fitted()
+        if score_workers < 1:
+            raise ValueError("score_workers must be at least 1")
         config = self.config
         test = np.asarray(test, dtype=np.float64)
         if test.ndim != 2 or test.shape[1] != self._num_features:
@@ -393,6 +466,7 @@ class ImDiffusionDetector:
         masks = build_masks(config, config.window_size, self._num_features)
 
         length = scaled.shape[0]
+        window = config.window_size
         sampler = config.build_sampler()
         num_collected = sampler.num_inference_steps(config.num_steps)
         error_sum = {k: np.zeros((length, self._num_features))
@@ -403,17 +477,37 @@ class ImDiffusionDetector:
         was_training = model.training
         model.eval()
         try:
-            for policy_index, mask in enumerate(masks):
-                target_region = 1.0 - mask
-                for chunk_start in range(0, windows.shape[0], config.batch_size):
-                    chunk = windows[chunk_start:chunk_start + config.batch_size]
-                    chunk_starts = starts[chunk_start:chunk_start + config.batch_size]
-                    for progress, squared in self._impute_window_errors(
-                            chunk, mask, policy_index, self._rng, sampler=sampler):
+            if score_workers == 1:
+                for policy_index, mask in enumerate(masks):
+                    target_region = 1.0 - mask
+                    for chunk_start in range(0, windows.shape[0], config.batch_size):
+                        chunk = windows[chunk_start:chunk_start + config.batch_size]
+                        chunk_starts = starts[chunk_start:chunk_start + config.batch_size]
+                        for progress, squared in self._impute_window_errors(
+                                chunk, mask, policy_index, self._rng, sampler=sampler):
+                            for window_error, start in zip(squared, chunk_starts):
+                                error_sum[progress][start:start + window] += window_error
+                        for start in chunk_starts:
+                            masked_count[start:start + window] += target_region
+            else:
+                def scatter_add(task, step_squared):
+                    # Replicates the serial inner accumulation exactly: for
+                    # each progress (trajectory order), each window of the
+                    # chunk scatter-adds at its start offset.
+                    chunk_starts = starts[task.start:task.stop]
+                    for progress, squared in step_squared.items():
                         for window_error, start in zip(squared, chunk_starts):
-                            error_sum[progress][start:start + config.window_size] += window_error
-                    for start in chunk_starts:
-                        masked_count[start:start + config.window_size] += target_region
+                            error_sum[progress][start:start + window] += window_error
+
+                reducer = MultiprocessScoreReducer(
+                    ImputationScoreSpec(self), score_workers)
+                with reducer:
+                    reducer.window_errors(windows, self._rng,
+                                          on_result=scatter_add)
+                for mask in masks:
+                    target_region = 1.0 - mask
+                    for start in starts:
+                        masked_count[start:start + window] += target_region
         finally:
             if was_training:
                 model.train()
@@ -425,16 +519,18 @@ class ImDiffusionDetector:
         return step_errors
 
     def _impute_window_errors(self, chunk: np.ndarray, mask: np.ndarray,
-                              policy_index: int, rng: np.random.Generator,
-                              sampler=None):
+                              policy_index: int,
+                              rng: Optional[np.random.Generator],
+                              sampler=None, noise=None):
         """Run one mask policy over a chunk of windows.
 
         Yields ``(progress, squared)`` pairs with ``squared`` of shape
         ``(chunk, window, features)``, restricted to the masked region.
         Progress counts visited steps from 1 (noisiest) upward, so it stays
-        dense even under a strided sampler.  Shared by offline scoring and
-        the serving layer's batched scorer so the imputation-error formula
-        cannot drift between the two paths.
+        dense even under a strided sampler.  Shared by offline scoring, the
+        serving layer's batched scorer and the sharded inference workers
+        (which pass pre-drawn ``noise`` and no ``rng``) so the
+        imputation-error formula cannot drift between the paths.
         """
         config = self.config
         sampler = sampler or config.build_sampler()
@@ -446,6 +542,7 @@ class ImDiffusionDetector:
             collect=config.collect,
             deterministic=config.deterministic_inference,
             sampler=sampler,
+            noise=noise,
         )
         for progress, (_, estimate) in enumerate(result.intermediate, start=1):
             yield progress, ((estimate - chunk) ** 2) * target_region
@@ -453,11 +550,16 @@ class ImDiffusionDetector:
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
-    def predict(self, test: np.ndarray) -> DetectionResult:
-        """Score ``test`` and derive binary anomaly labels."""
+    def predict(self, test: np.ndarray,
+                score_workers: int = 1) -> DetectionResult:
+        """Score ``test`` and derive binary anomaly labels.
+
+        ``score_workers`` is forwarded to :meth:`score`; labels are
+        worker-count-invariant because the scores are.
+        """
         config = self.config
         start_time = time.perf_counter()
-        step_errors = self.score(test)
+        step_errors = self.score(test, score_workers=score_workers)
         elapsed = time.perf_counter() - start_time
 
         voter = EnsembleVoter(
@@ -481,9 +583,10 @@ class ImDiffusionDetector:
             inference_seconds=elapsed,
         )
 
-    def fit_predict(self, train: np.ndarray, test: np.ndarray) -> DetectionResult:
+    def fit_predict(self, train: np.ndarray, test: np.ndarray,
+                    score_workers: int = 1) -> DetectionResult:
         """Convenience wrapper: :meth:`fit` on ``train`` then :meth:`predict` on ``test``."""
-        return self.fit(train).predict(test)
+        return self.fit(train).predict(test, score_workers=score_workers)
 
     # ------------------------------------------------------------------
     @property

@@ -1,7 +1,7 @@
 """Diffusion-model machinery: noise schedules, DDPM steps and imputation."""
 
 from .ddpm import GaussianDiffusion
-from .imputation import ImputationResult, ImputedDiffusion
+from .imputation import ImputationResult, ImputedDiffusion, ImputeNoise
 from .samplers import (
     FullReverseSampler,
     ReverseSampler,
@@ -19,6 +19,7 @@ from .schedule import (
 __all__ = [
     "GaussianDiffusion",
     "ImputationResult",
+    "ImputeNoise",
     "ImputedDiffusion",
     "ReverseSampler",
     "FullReverseSampler",

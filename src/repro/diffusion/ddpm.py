@@ -100,20 +100,26 @@ class GaussianDiffusion:
 
     def p_sample(self, x_t: np.ndarray, t: StepLike, eps: np.ndarray,
                  rng: Optional[np.random.Generator] = None,
-                 deterministic: bool = False) -> np.ndarray:
+                 deterministic: bool = False,
+                 noise: Optional[np.ndarray] = None) -> np.ndarray:
         """One reverse step: sample ``x_{t-1}`` given ``x_t`` and the predicted noise.
 
         With array-valued ``t`` every sample takes its own reverse step; rows
         at ``t == 1`` receive the posterior mean without added noise, exactly
-        as in the scalar case.
+        as in the scalar case.  ``noise`` optionally injects the transition's
+        standard-normal draw (shape of ``x_t``); supplying the same values the
+        internal draw would have produced is bit-identical to drawing here —
+        this is how the sharded inference engine pre-draws all randomness in
+        the parent process.
         """
         mean = self.posterior_mean_from_eps(x_t, t, eps)
         t_arr = np.asarray(t)
         if deterministic or np.all(t_arr == 1):
             return mean
-        rng = rng or np.random.default_rng()
         sigma = np.sqrt(self.schedule.posterior_variance(t))
-        noise = rng.standard_normal(x_t.shape)
+        if noise is None:
+            rng = rng or np.random.default_rng()
+            noise = rng.standard_normal(x_t.shape)
         if t_arr.ndim == 0:
             return mean + sigma * noise
         keep = (t_arr > 1).astype(np.float64)

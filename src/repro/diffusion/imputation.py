@@ -26,7 +26,7 @@ from ..nn import functional as F
 from .ddpm import GaussianDiffusion
 from .samplers import FullReverseSampler, ReverseSampler
 
-__all__ = ["ImputationResult", "ImputedDiffusion"]
+__all__ = ["ImputationResult", "ImputeNoise", "ImputedDiffusion"]
 
 CONDITIONING_MODES = ("unconditional", "conditional")
 
@@ -56,6 +56,49 @@ class ImputationResult:
     def steps(self) -> List[int]:
         """Visited diffusion steps, descending (the sampler's trajectory)."""
         return [step for step, _ in self.intermediate]
+
+
+@dataclass
+class ImputeNoise:
+    """Pre-drawn randomness of one :meth:`ImputedDiffusion.impute` call.
+
+    Produced by :meth:`ImputedDiffusion.draw_impute_noise` with exactly the
+    draws — same order, same shapes — that :meth:`~ImputedDiffusion.impute`
+    makes internally, so a caller can draw once on a shared generator and run
+    the reverse process rng-free (the sharded inference engine draws in the
+    parent and computes in scoring workers).  All arrays are in the model's
+    native ``(batch, K, L)`` layout; :meth:`shard` slices every component
+    along the batch axis so a payload shards alongside its windows.
+
+    Attributes
+    ----------
+    prior:
+        The ``x_T`` prior sample, shape ``(batch, K, L)``.
+    reference:
+        Per visited step, the reference-channel forward noise
+        (``(batch, K, L)`` each, ordered along the trajectory).
+    transition:
+        Per visited step, the reverse-transition noise — ``None`` for steps
+        whose transition is noise-free (deterministic inference, DDIM jumps
+        and the terminal ``t == 1`` step).
+    """
+
+    prior: np.ndarray
+    reference: List[np.ndarray]
+    transition: List[Optional[np.ndarray]]
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.prior.shape[0])
+
+    def shard(self, start: int, stop: int) -> "ImputeNoise":
+        """The payload restricted to batch rows ``start:stop`` (zero-copy views)."""
+        return ImputeNoise(
+            prior=self.prior[start:stop],
+            reference=[draw[start:stop] for draw in self.reference],
+            transition=[None if draw is None else draw[start:stop]
+                        for draw in self.transition],
+        )
 
 
 class ImputedDiffusion:
@@ -160,10 +203,43 @@ class ImputedDiffusion:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
+    def draw_impute_noise(self, windows: np.ndarray, rng: np.random.Generator,
+                          sampler: Optional[ReverseSampler] = None,
+                          deterministic: bool = False) -> ImputeNoise:
+        """Pre-draw every random draw of one :meth:`impute` call.
+
+        Makes exactly the draws — in the same order and shapes — that
+        :meth:`impute` makes internally for the same ``(windows, sampler,
+        deterministic)`` triple: the ``x_T`` prior, then per visited step the
+        reference-channel noise and (when that step's transition samples) the
+        reverse-transition noise.  Injecting the result via ``impute(...,
+        noise=...)`` is bit-identical to letting ``impute`` draw from the
+        same generator state.
+        """
+        sampler = sampler or FullReverseSampler()
+        windows = np.asarray(windows, dtype=np.float64)
+        kl_shape = windows.transpose(0, 2, 1).shape
+        prior = self.diffusion.prior_sample(kl_shape, rng)
+        trajectory = sampler.trajectory(self.diffusion.num_steps)
+        reference: List[np.ndarray] = []
+        transition: List[Optional[np.ndarray]] = []
+        for i, t in enumerate(trajectory):
+            t_prev = trajectory[i + 1] if i + 1 < len(trajectory) else 0
+            reference.append(rng.standard_normal(kl_shape))
+            # Mirrors the sampler/p_sample noise conditions: only adjacent
+            # non-terminal transitions sample (DDIM jumps are noise-free,
+            # t == 1 returns the posterior mean).
+            if not deterministic and t_prev == t - 1 and t > 1:
+                transition.append(rng.standard_normal(kl_shape))
+            else:
+                transition.append(None)
+        return ImputeNoise(prior=prior, reference=reference, transition=transition)
+
     def impute(self, windows: np.ndarray, masks: np.ndarray, policies: np.ndarray,
-               rng: np.random.Generator, collect: str = "sample",
+               rng: Optional[np.random.Generator], collect: str = "sample",
                deterministic: bool = False,
-               sampler: Optional[ReverseSampler] = None) -> ImputationResult:
+               sampler: Optional[ReverseSampler] = None,
+               noise: Optional[ImputeNoise] = None) -> ImputationResult:
         """Impute the masked region by running the reverse process.
 
         The whole pass executes under :class:`repro.nn.no_grad` — imputation
@@ -188,6 +264,11 @@ class ImputedDiffusion:
             :class:`~repro.diffusion.FullReverseSampler` (every step ``T..1``,
             identical to the pre-engine loop).  A strided sampler visits a
             subsequence, cutting denoiser calls proportionally.
+        noise:
+            Pre-drawn randomness from :meth:`draw_impute_noise`, making the
+            pass rng-free (``rng`` may then be ``None``).  Injecting the
+            draws the internal path would have made is bit-identical to
+            drawing them here.
         """
         if collect not in ("sample", "x0"):
             raise ValueError("collect must be 'sample' or 'x0'")
@@ -195,12 +276,19 @@ class ImputedDiffusion:
         windows = np.asarray(windows, dtype=np.float64)
         masks = np.asarray(masks, dtype=np.float64)
         batch = windows.shape[0]
+        if noise is None and rng is None:
+            raise ValueError("impute needs an rng unless noise is pre-drawn")
+        if noise is not None and noise.batch_size != batch:
+            raise ValueError(
+                f"noise payload covers {noise.batch_size} windows, got {batch}")
 
         x0 = windows.transpose(0, 2, 1)
         observed = masks.transpose(0, 2, 1)
         target_region = 1.0 - observed
 
-        x_t = self.diffusion.prior_sample(x0.shape, rng) * target_region
+        prior = (noise.prior if noise is not None
+                 else self.diffusion.prior_sample(x0.shape, rng))
+        x_t = prior * target_region
         intermediate: List[Tuple[int, np.ndarray]] = []
         trajectory = sampler.trajectory(self.diffusion.num_steps)
 
@@ -208,7 +296,8 @@ class ImputedDiffusion:
             for i, t in enumerate(trajectory):
                 t_prev = trajectory[i + 1] if i + 1 < len(trajectory) else 0
                 steps = np.full(batch, t, dtype=np.int64)
-                step_noise = rng.standard_normal(x0.shape)
+                step_noise = (noise.reference[i] if noise is not None
+                              else rng.standard_normal(x0.shape))
                 reference = self._reference_channel(x0, observed, step_noise)
                 model_input = self._build_input(x_t * target_region, reference)
                 predicted_eps = self.model(model_input, steps, policies).data
@@ -216,7 +305,9 @@ class ImputedDiffusion:
                 if collect == "x0":
                     estimate = self.diffusion.predict_x0_from_eps(x_t, t, predicted_eps)
                 x_prev = sampler.step(self.diffusion, x_t, t, t_prev, predicted_eps,
-                                      rng=rng, deterministic=deterministic)
+                                      rng=rng, deterministic=deterministic,
+                                      noise=(noise.transition[i]
+                                             if noise is not None else None))
                 x_prev = x_prev * target_region
                 if collect == "sample":
                     estimate = x_prev

@@ -55,10 +55,14 @@ class ReverseSampler:
 
     def step(self, diffusion: GaussianDiffusion, x_t: np.ndarray, t: int, t_prev: int,
              eps: np.ndarray, rng: Optional[np.random.Generator] = None,
-             deterministic: bool = False) -> np.ndarray:
+             deterministic: bool = False,
+             noise: Optional[np.ndarray] = None) -> np.ndarray:
         """Produce ``x_{t_prev}`` from ``x_t`` and the predicted noise at ``t``.
 
         ``t_prev`` is the next visited step (0 terminates the trajectory).
+        ``noise`` optionally injects the transition's standard-normal draw
+        for steps that sample one (adjacent non-terminal transitions);
+        transitions that are noise-free by construction ignore it.
         """
         raise NotImplementedError
 
@@ -76,11 +80,13 @@ class FullReverseSampler(ReverseSampler):
 
     def step(self, diffusion: GaussianDiffusion, x_t: np.ndarray, t: int, t_prev: int,
              eps: np.ndarray, rng: Optional[np.random.Generator] = None,
-             deterministic: bool = False) -> np.ndarray:
+             deterministic: bool = False,
+             noise: Optional[np.ndarray] = None) -> np.ndarray:
         if t_prev != t - 1:
             raise ValueError(
                 f"FullReverseSampler only takes adjacent steps, got {t} -> {t_prev}")
-        return diffusion.p_sample(x_t, t, eps, rng=rng, deterministic=deterministic)
+        return diffusion.p_sample(x_t, t, eps, rng=rng, deterministic=deterministic,
+                                  noise=noise)
 
 
 class StridedReverseSampler(ReverseSampler):
@@ -126,11 +132,15 @@ class StridedReverseSampler(ReverseSampler):
 
     def step(self, diffusion: GaussianDiffusion, x_t: np.ndarray, t: int, t_prev: int,
              eps: np.ndarray, rng: Optional[np.random.Generator] = None,
-             deterministic: bool = False) -> np.ndarray:
+             deterministic: bool = False,
+             noise: Optional[np.ndarray] = None) -> np.ndarray:
         if t_prev == t - 1:
             # Adjacent transition: the exact DDPM step, identical to the full
             # trajectory (this is what makes stride 1 a strict no-op).
-            return diffusion.p_sample(x_t, t, eps, rng=rng, deterministic=deterministic)
+            return diffusion.p_sample(x_t, t, eps, rng=rng, deterministic=deterministic,
+                                      noise=noise)
+        # Non-adjacent jumps are the deterministic DDIM update: noise-free,
+        # so an injected draw is never consumed here.
         x0_hat = diffusion.predict_x0_from_eps(x_t, t, eps)
         alpha_bar_prev = diffusion.schedule.alpha_bars[t_prev - 1]
         return np.sqrt(alpha_bar_prev) * x0_hat + np.sqrt(1.0 - alpha_bar_prev) * eps

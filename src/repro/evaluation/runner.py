@@ -9,6 +9,7 @@ detector-agnostic way: anything with ``fit(train)`` and ``predict(test)``
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -199,7 +200,8 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
                       adjust: bool = True, sampler: Optional[str] = None,
                       num_inference_steps: Optional[int] = None,
                       validation_fraction: Optional[float] = None,
-                      validation_split: Optional[str] = None) -> EvaluationSummary:
+                      validation_split: Optional[str] = None,
+                      score_workers: Optional[int] = None) -> EvaluationSummary:
     """Run a detector ``num_runs`` times on ``dataset`` and aggregate the metrics.
 
     Parameters
@@ -223,6 +225,12 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
         windows).  Applied through the config for ImDiffusion and through
         the detector attributes for the baselines; detectors without the
         knobs are left unchanged.
+    score_workers:
+        Fan each run's scoring pass out across this many workers via the
+        sharded inference engine (:mod:`repro.inference`).  Metrics are
+        unchanged for any worker count — scores are bit-identical to the
+        serial path.  Ignored for detectors whose ``predict`` lacks the
+        knob (the baselines).
     """
     if num_runs < 1:
         raise ValueError("num_runs must be at least 1")
@@ -236,7 +244,12 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
         fit_start = time.perf_counter()
         detector.fit(dataset.train)
         train_seconds = time.perf_counter() - fit_start
-        prediction = detector.predict(dataset.test)
+        if (score_workers is not None and score_workers > 1 and
+                "score_workers" in inspect.signature(detector.predict).parameters):
+            prediction = detector.predict(dataset.test,
+                                          score_workers=score_workers)
+        else:
+            prediction = detector.predict(dataset.test)
         labels, scores = _extract_labels_scores(prediction)
         metrics = evaluate_labels(labels, scores, dataset.test_labels, adjust=adjust)
         train_result = getattr(detector, "last_train_result", None)

@@ -1,0 +1,37 @@
+"""Sharded inference: data-parallel scoring over spawn-safe worker pools.
+
+The inference-side sibling of the training package's gradient-reducer seam:
+
+* :class:`WorkerPool` — spawn-started daemon workers with idempotent,
+  atexit-guaranteed cleanup (shared with the training reducer),
+* :class:`ScoreSpec` / :class:`ScoreTask` — one batched scoring call
+  factored into parent-side randomness and pure worker-side kernels,
+* :class:`SerialScoreReducer` — the in-process path, bit-identical to the
+  pre-engine inline scoring loop,
+* :class:`MultiprocessScoreReducer` — the same plan fanned out round-robin
+  across a persistent scoring-worker pool, with parameters shipped through
+  the zero-copy shared-memory transport of :mod:`repro.nn.shm`.
+
+See the README's "Sharded inference" section for the determinism contract
+and guidance on when extra score workers help.
+"""
+
+from .parallel import (
+    MultiprocessScoreReducer,
+    ScoreReducer,
+    ScoreSpec,
+    ScoreTask,
+    SerialScoreReducer,
+)
+from .pool import WorkerPool, register_cleanup, unregister_cleanup
+
+__all__ = [
+    "MultiprocessScoreReducer",
+    "ScoreReducer",
+    "ScoreSpec",
+    "ScoreTask",
+    "SerialScoreReducer",
+    "WorkerPool",
+    "register_cleanup",
+    "unregister_cleanup",
+]

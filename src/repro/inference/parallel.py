@@ -1,0 +1,338 @@
+"""The sharded inference engine: the ``ScoreReducer`` family.
+
+Scoring dominates serving latency — every reverse-diffusion pass in
+``detector.score`` and the :class:`~repro.serving.service.DetectorService`
+hot path ran in a single process, while training has been data-parallel
+since the :class:`~repro.training.GradientReducer` seam landed.  This module
+mirrors that seam for inference:
+
+* a :class:`ScoreSpec` factors one batched scoring call into a deterministic
+  task ``plan`` ((mask policy, window chunk) pairs in the serial loop's
+  order), a parent-side ``draw`` of each task's randomness, and a pure,
+  rng-free ``compute`` kernel;
+* :class:`SerialScoreReducer` runs the plan in-process — bit-identical to
+  the pre-engine inline loop because the draws and the accumulation order
+  are exactly the serial ones;
+* :class:`MultiprocessScoreReducer` dispatches the same plan round-robin
+  across a persistent pool of spawn-started scoring workers.
+
+Determinism contract: *all* randomness is drawn in the parent, in plan
+order, regardless of worker count; tasks are pure given their payload; and
+the parent consumes results in plan order.  Scores are therefore invariant
+across worker counts, and a 1-worker pool reproduces the serial path
+bit for bit (``np.array_equal``, gated in ``benchmarks/test_serving_scale``).
+
+Parameters cross the process boundary through the zero-copy shared-memory
+transport of :mod:`repro.nn.shm`: workers attach once at pool start-up and
+every task message carries only the windows, the noise payload and the
+expected block generation — per-step pickling no longer scales with model
+size.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..nn.shm import SharedParameterBlock, SharedParameterSpec, SharedParameterView
+from .pool import WorkerPool, register_cleanup, unregister_cleanup
+
+__all__ = [
+    "ScoreTask",
+    "ScoreSpec",
+    "ScoreReducer",
+    "SerialScoreReducer",
+    "MultiprocessScoreReducer",
+]
+
+#: ``on_result(task, step_squared)`` with ``step_squared`` mapping progress
+#: (1 = noisiest visited step) to ``(task_windows, window, features)`` squared
+#: errors.  Called exactly once per task, in plan order.
+ResultFn = Callable[["ScoreTask", Dict[int, np.ndarray]], None]
+
+
+@dataclass(frozen=True)
+class ScoreTask:
+    """One unit of a batched scoring call: a mask policy over a window chunk."""
+
+    policy_index: int
+    start: int   # first window row of the chunk (inclusive)
+    stop: int    # last window row of the chunk (exclusive)
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class ScoreSpec:
+    """A batched scoring pass factored for sharded execution.
+
+    The serial scorer interleaves its randomness with its computation; a
+    spec splits them so the randomness can stay in the parent while the
+    computation fans out.  The contract mirrors
+    :class:`~repro.training.ParallelLossSpec`: iterating
+    ``compute(windows[t.start:t.stop], t, draw(windows, t, rng))`` over
+    ``plan(n)`` must be bit-identical to the serial scoring loop, consuming
+    ``rng`` in the same order.
+    """
+
+    def build(self) -> List:
+        """Materialise the model parameters on the worker side.
+
+        Called once per worker after the spec is unpickled; must return the
+        parameters in exactly the order of :meth:`parent_parameters` (each
+        worker swaps them to shared-memory views of the parent's values).
+        """
+        raise NotImplementedError
+
+    def parent_parameters(self) -> List:
+        """The live parameter list the parent publishes to the shared block."""
+        raise NotImplementedError
+
+    def plan(self, num_windows: int) -> List[ScoreTask]:
+        """The task decomposition of one batch, in serial-loop order."""
+        raise NotImplementedError
+
+    def draw(self, windows: np.ndarray, task: ScoreTask,
+             rng: Optional[np.random.Generator]):
+        """Every random draw of one task, executed in the parent in plan order."""
+        return None
+
+    def compute(self, windows: np.ndarray, task: ScoreTask,
+                payload) -> Dict[int, np.ndarray]:
+        """The pure, rng-free scoring kernel of one task.
+
+        ``windows`` is the task's chunk (``task.stop - task.start`` rows);
+        returns ``progress -> (chunk, window, features)`` squared errors.
+        """
+        raise NotImplementedError
+
+
+class ScoreReducer:
+    """Strategy that turns one batch of windows into per-step squared errors.
+
+    The inference-side sibling of :class:`~repro.training.GradientReducer`:
+    ``open``/``close`` bracket resource ownership (worker pools, shared
+    memory), :meth:`window_errors` executes one batched scoring call.
+    """
+
+    def open(self) -> None:
+        """Acquire resources (worker pools, shared-memory blocks)."""
+
+    def close(self) -> None:
+        """Release resources acquired by :meth:`open`; idempotent."""
+
+    def window_errors(self, windows: np.ndarray,
+                      rng: Optional[np.random.Generator],
+                      on_result: Optional[ResultFn] = None
+                      ) -> Optional[Dict[int, np.ndarray]]:
+        """Score one batch of windows through the spec's task plan.
+
+        With the default accumulator, returns ``progress -> (batch, window,
+        features)`` summed squared errors (the serial scorer's ``error_sum``).
+        A custom ``on_result`` receives each task's raw result in plan order
+        instead — offline scoring uses this to scatter-add by window start —
+        and the method returns ``None``.
+        """
+        raise NotImplementedError
+
+    def __enter__(self) -> "ScoreReducer":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _batch_accumulator(num_windows: int):
+    """Default result handler: sum task results into per-progress totals."""
+    totals: Dict[int, np.ndarray] = {}
+
+    def accumulate(task: ScoreTask, step_squared: Dict[int, np.ndarray]) -> None:
+        for progress, squared in step_squared.items():
+            if progress not in totals:
+                totals[progress] = np.zeros((num_windows,) + squared.shape[1:])
+            totals[progress][task.start:task.stop] += squared
+
+    return totals, accumulate
+
+
+class SerialScoreReducer(ScoreReducer):
+    """In-process execution of a :class:`ScoreSpec` (the 1-process path).
+
+    Draw-then-compute per task, in plan order, on the caller's generator —
+    by the spec contract this is bit-identical to the pre-engine inline
+    scoring loop, and it is the reference the multiprocess reducer is gated
+    against.
+    """
+
+    def __init__(self, spec: ScoreSpec) -> None:
+        self.spec = spec
+
+    def window_errors(self, windows: np.ndarray,
+                      rng: Optional[np.random.Generator],
+                      on_result: Optional[ResultFn] = None
+                      ) -> Optional[Dict[int, np.ndarray]]:
+        windows = np.asarray(windows, dtype=np.float64)
+        totals = None
+        handler = on_result
+        if handler is None:
+            totals, handler = _batch_accumulator(windows.shape[0])
+        for task in self.spec.plan(windows.shape[0]):
+            payload = self.spec.draw(windows, task, rng)
+            handler(task, self.spec.compute(
+                windows[task.start:task.stop], task, payload))
+        return totals
+
+
+def _score_worker_main(conn, spec: ScoreSpec,
+                       shm_spec: SharedParameterSpec) -> None:
+    """Scoring-worker loop: receive (generation, task, chunk, payload), reply errors.
+
+    Runs in a spawned subprocess.  The spec and the shared-memory handle
+    arrive pickled through the process arguments; the worker rebuilds the
+    model once, swaps its parameters to zero-copy views of the parent's
+    block, and then serves tasks until the ``None`` sentinel.  Start-up
+    failures are remembered and re-raised per task so the parent never loses
+    pipe lockstep; per-task exceptions ship back as formatted tracebacks.
+    """
+    view: Optional[SharedParameterView] = None
+    failure: Optional[str] = None
+    try:
+        parameters = spec.build()
+        view = SharedParameterView(shm_spec)
+        view.attach_to(parameters)
+    except Exception:  # noqa: BLE001 - reported on first task
+        failure = traceback.format_exc()
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # parent died / closed the pipe
+            break
+        if message is None:
+            break
+        generation, task, chunk, payload = message
+        try:
+            if failure is not None:
+                raise RuntimeError(
+                    "scoring worker failed to initialise:\n" + failure)
+            view.check_generation(generation)
+            conn.send(("ok", spec.compute(chunk, task, payload)))
+        except Exception:  # noqa: BLE001 - shipped to the parent verbatim
+            conn.send(("error", traceback.format_exc()))
+    if view is not None:
+        view.close()
+
+
+class MultiprocessScoreReducer(ScoreReducer):
+    """Dispatch the spec's task plan across a persistent scoring-worker pool.
+
+    Tasks are assigned round-robin with one task in flight per worker (the
+    parent draws/sends task ``i+1`` while workers compute, a simple software
+    pipeline), and results are consumed strictly in plan order, so the
+    accumulation arithmetic matches the serial reducer addition for
+    addition.  Unlike the training reducer there is no gradient averaging —
+    ``num_workers=1`` is valid and is exactly the serial computation moved
+    into one spawned process (the bit-identity gate).
+
+    The pool persists across :meth:`window_errors` calls (``open``/``close``
+    or context manager), so a long-lived service pays the spawn cost once.
+    Parameters are published to a shared-memory block at :meth:`open`;
+    :meth:`refresh_parameters` re-publishes after a parent-side weight swap.
+    """
+
+    def __init__(self, spec: ScoreSpec, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.spec = spec
+        self.num_workers = int(num_workers)
+        self._pool: Optional[WorkerPool] = None
+        self._block: Optional[SharedParameterBlock] = None
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        if self._pool is not None:
+            return
+        try:
+            self._block = SharedParameterBlock(self.spec.parent_parameters())
+            self._generation = self._block.publish(self.spec.parent_parameters())
+            self._pool = WorkerPool(
+                _score_worker_main, (self.spec, self._block.spec()),
+                self.num_workers, name="score-worker")
+            self._pool.start()
+        except Exception:
+            self.close()
+            raise
+        register_cleanup(self)
+
+    def refresh_parameters(self) -> None:
+        """Re-publish the parent parameters (after a hot weight swap)."""
+        if self._block is not None:
+            self._generation = self._block.publish(self.spec.parent_parameters())
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        block, self._block = self._block, None
+        if block is not None:
+            block.close()
+        unregister_cleanup(self)
+
+    # ------------------------------------------------------------------
+    def window_errors(self, windows: np.ndarray,
+                      rng: Optional[np.random.Generator],
+                      on_result: Optional[ResultFn] = None
+                      ) -> Optional[Dict[int, np.ndarray]]:
+        if self._pool is None:
+            self.open()
+        windows = np.asarray(windows, dtype=np.float64)
+        totals = None
+        handler = on_result
+        if handler is None:
+            totals, handler = _batch_accumulator(windows.shape[0])
+        tasks = self.spec.plan(windows.shape[0])
+        connections = self._pool.connections
+        outstanding: List[Optional[ScoreTask]] = [None] * len(connections)
+
+        def collect(worker: int) -> None:
+            task, outstanding[worker] = outstanding[worker], None
+            try:
+                reply = connections[worker].recv()
+            except EOFError:
+                raise RuntimeError(
+                    "a scoring worker died mid-batch; the score spec is "
+                    "probably not spawn-safe (it must be picklable and "
+                    "rng-free in compute())"
+                ) from None
+            if reply[0] == "error":
+                raise RuntimeError("scoring worker failed:\n" + reply[1])
+            handler(task, reply[1])
+
+        try:
+            for index, task in enumerate(tasks):
+                worker = index % len(connections)
+                if outstanding[worker] is not None:
+                    collect(worker)
+                payload = self.spec.draw(windows, task, rng)
+                connections[worker].send(
+                    (self._generation, task, windows[task.start:task.stop],
+                     payload))
+                outstanding[worker] = task
+            # Drain in plan order: the remaining tasks sit on consecutive
+            # workers starting at the one task len(tasks)-size was sent to.
+            first = len(tasks) % len(connections)
+            for offset in range(len(connections)):
+                worker = (first + offset) % len(connections)
+                if outstanding[worker] is not None:
+                    collect(worker)
+        except Exception:
+            # A failed batch leaves replies in flight; tear the pool down so
+            # the lockstep protocol cannot desynchronise on the next call.
+            self.close()
+            raise
+        return totals

@@ -1,0 +1,147 @@
+"""Spawn-safe persistent worker pools with guaranteed cleanup.
+
+Both data-parallel engines (gradient workers in :mod:`repro.training`,
+scoring workers in :mod:`repro.inference`) need the same process plumbing: a
+pool of ``spawn``-started daemon processes, one duplex pipe each, a sentinel
+shutdown protocol, and — critically — a cleanup path that cannot be skipped.
+:class:`WorkerPool` factors that plumbing out of the reducers, and the
+module-level cleanup registry guarantees that an exception, an early
+``sys.exit`` or a Ctrl-C mid-epoch never leaks worker processes or orphaned
+shared-memory segments:
+
+* :meth:`WorkerPool.close` is idempotent and safe to call at any point
+  (including on a half-started pool),
+* every started pool — and any other closable resource handed to
+  :func:`register_cleanup`, e.g. a shared-memory parameter block — is
+  tracked in a weak set and closed by an ``atexit`` hook registered the
+  first time a resource appears.  Normal ``close()`` unregisters, so the
+  hook only ever fires for resources that leaked past their owner.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import weakref
+from typing import Callable, List, Tuple
+
+__all__ = ["WorkerPool", "register_cleanup", "unregister_cleanup"]
+
+# Resources (pools, shared-memory blocks, reducers) whose close() must run
+# even if their owner never reaches its finally block.  Weak references: a
+# resource that was garbage-collected needs no cleanup call.
+_CLEANUP_REGISTRY: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_INSTALLED = False
+
+
+def _close_registered() -> None:  # pragma: no cover - exercised via subprocess
+    for resource in list(_CLEANUP_REGISTRY):
+        try:
+            resource.close()
+        except Exception:
+            pass
+
+
+def register_cleanup(resource) -> None:
+    """Track ``resource`` (anything with an idempotent ``close()``) for atexit."""
+    global _ATEXIT_INSTALLED
+    if not _ATEXIT_INSTALLED:
+        # Registered lazily so importing repro never touches atexit; LIFO
+        # ordering runs this hook before multiprocessing's own exit handler,
+        # so workers get their shutdown sentinel while pipes are still alive.
+        atexit.register(_close_registered)
+        _ATEXIT_INSTALLED = True
+    _CLEANUP_REGISTRY.add(resource)
+
+
+def unregister_cleanup(resource) -> None:
+    """Stop tracking a resource its owner closed normally."""
+    _CLEANUP_REGISTRY.discard(resource)
+
+
+class WorkerPool:
+    """A pool of spawn-started daemon workers, one duplex pipe per worker.
+
+    ``target(conn, *args)`` runs in each worker; it must loop on
+    ``conn.recv()`` and treat ``None`` as the shutdown sentinel.  The pool
+    owns only process/pipe lifecycle — messaging discipline (scatter/gather
+    lockstep, round-robin pipelines) belongs to the caller, which accesses
+    the parent pipe ends through :attr:`connections`.
+    """
+
+    def __init__(self, target: Callable, args: Tuple, num_workers: int,
+                 name: str = "worker") -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.target = target
+        self.args = tuple(args)
+        self.num_workers = int(num_workers)
+        self.name = name
+        self._processes: List = []
+        self._connections: List = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return bool(self._processes)
+
+    @property
+    def size(self) -> int:
+        return len(self._connections)
+
+    @property
+    def connections(self) -> List:
+        return self._connections
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the workers; idempotent once started."""
+        if self._processes:
+            return
+        context = multiprocessing.get_context("spawn")  # fork-free by design
+        try:
+            for index in range(self.num_workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=self.target, args=(child_conn,) + self.args,
+                    name=f"{self.name}-{index}", daemon=True)
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+        except Exception:
+            # A partial pool must never survive: reap what did spawn so a
+            # retry starts from scratch instead of silently running with
+            # fewer workers than requested.
+            self.close()
+            raise
+        register_cleanup(self)
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent and safe on a half-started pool."""
+        connections, self._connections = self._connections, []
+        processes, self._processes = self._processes, []
+        for conn in connections:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        unregister_cleanup(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -47,6 +47,7 @@ from .serialization import (
     save_module,
     save_state_dict,
 )
+from .shm import SharedParameterBlock, SharedParameterSpec, SharedParameterView
 
 __all__ = [
     "Tensor",
@@ -93,4 +94,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "load_checkpoint_metadata",
+    "SharedParameterBlock",
+    "SharedParameterSpec",
+    "SharedParameterView",
 ]

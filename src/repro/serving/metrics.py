@@ -71,6 +71,8 @@ class ServiceMetrics:
         self.active_tenants = 0
         # Latency of batched scoring calls
         self.scoring_latency = LatencyTracker()
+        # Latency of the post-merge alarm scan (decide + fresh-span analytics)
+        self.alarm_scan_latency = LatencyTracker()
 
     # ------------------------------------------------------------------
     def record_batch(self, num_windows: int, points: int, seconds: float,
@@ -89,6 +91,10 @@ class ServiceMetrics:
                 self.alerts_by_policy.get(event.policy, 0) + 1)
         else:
             self.alerts_resolved += 1
+
+    def record_alarm_scan(self, seconds: float) -> None:
+        """Account one :meth:`DetectorService.collect_alarms` scan."""
+        self.alarm_scan_latency.record(seconds)
 
     def record_drain(self, num_windows: int, new_points: int) -> None:
         """Account a shutdown drain pass without polluting latency samples."""
@@ -130,6 +136,9 @@ class ServiceMetrics:
             "scoring_latency_p50": self.scoring_latency.percentile(50.0),
             "scoring_latency_p99": self.scoring_latency.percentile(99.0),
             "scoring_latency_mean": self.scoring_latency.mean,
+            "alarm_scan_latency_p50": self.alarm_scan_latency.percentile(50.0),
+            "alarm_scan_latency_p99": self.alarm_scan_latency.percentile(99.0),
+            "alarm_scan_latency_mean": self.alarm_scan_latency.mean,
         }
 
     def format_table(self) -> str:
@@ -148,6 +157,10 @@ class ServiceMetrics:
                      f"{1000 * snap['scoring_latency_p50']:>10.2f}")
         lines.append(f"{'scoring_latency_p99 (ms)':28s} "
                      f"{1000 * snap['scoring_latency_p99']:>10.2f}")
+        lines.append(f"{'alarm_scan_latency_p50 (ms)':28s} "
+                     f"{1000 * snap['alarm_scan_latency_p50']:>10.2f}")
+        lines.append(f"{'alarm_scan_latency_p99 (ms)':28s} "
+                     f"{1000 * snap['alarm_scan_latency_p99']:>10.2f}")
         if self.flush_reasons:
             reasons = ", ".join(f"{k}={v}" for k, v in sorted(self.flush_reasons.items()))
             lines.append(f"{'flushes_by_reason':28s} {reasons:>10s}")

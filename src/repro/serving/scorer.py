@@ -26,8 +26,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core import ImDiffusionDetector
+from ..core.detector import ImputationScoreSpec
 from ..core.ensemble import EnsembleVoter
 from ..core.modes import build_masks
+from ..inference import ScoreReducer, SerialScoreReducer
 from .buffers import RingBuffer
 
 __all__ = ["PendingWindow", "ScoreView", "IncrementalScorer"]
@@ -93,10 +95,19 @@ class IncrementalScorer:
     raw_capacity:
         Capacity of the per-tenant raw ring buffer; defaults to
         ``max(history, 4 * window_size)``.
+    reducer:
+        The :class:`~repro.inference.ScoreReducer` executing the batched
+        denoiser passes.  Defaults to an in-process
+        :class:`~repro.inference.SerialScoreReducer`; the service passes a
+        :class:`~repro.inference.MultiprocessScoreReducer` when configured
+        with ``score_workers > 1``.  By the reducer determinism contract the
+        scores are identical either way.  The scorer owns the reducer it is
+        handed: :meth:`close` releases it.
     """
 
     def __init__(self, detector: ImDiffusionDetector, history: int = 1024,
-                 raw_capacity: Optional[int] = None) -> None:
+                 raw_capacity: Optional[int] = None,
+                 reducer: Optional[ScoreReducer] = None) -> None:
         if not detector.is_fitted:
             raise ValueError("IncrementalScorer requires a fitted detector")
         self.detector = detector
@@ -118,6 +129,11 @@ class IncrementalScorer:
         # once so every batched pass runs with deterministic layers and
         # (together with the impute-level no_grad) a graph-free hot path.
         detector._imputer.model.eval()
+        # open() eagerly so a multiprocess reducer pays its spawn cost at
+        # service start-up, not on the first tenant's first flush.
+        self._reducer = reducer if reducer is not None else SerialScoreReducer(
+            ImputationScoreSpec(detector))
+        self._reducer.open()
         self._voter = EnsembleVoter(
             error_percentile=config.error_percentile,
             vote_fraction=config.vote_fraction,
@@ -217,9 +233,13 @@ class IncrementalScorer:
         draw order from the generator).  The pass inherits the detector's
         inference engine: grad-free denoiser calls and the configured
         reverse sampler (``progress`` indexes visited steps, 1 = noisiest).
+
+        The denoiser work itself runs through the scorer's
+        :class:`~repro.inference.ScoreReducer` — in-process by default,
+        fanned out across scoring workers when the service is configured
+        with ``score_workers > 1`` — with identical results either way.
         """
         detector = self.detector
-        config = detector.config
         rng = rng if rng is not None else detector._rng
         windows = np.asarray(windows, dtype=np.float64)
         if windows.ndim != 3 or windows.shape[1:] != (self.window_size, self.num_features):
@@ -229,17 +249,16 @@ class IncrementalScorer:
 
         batch = windows.shape[0]
         num_steps = self.num_steps
-        error_sum = {k: np.zeros((batch, self.window_size, self.num_features))
-                     for k in range(1, num_steps + 1)}
-        masked_count = np.zeros((self.window_size, self.num_features))
+        error_sum = self._reducer.window_errors(windows, rng)
+        for k in range(1, num_steps + 1):
+            # An empty batch produces an empty task plan; keep the full
+            # progress -> errors contract regardless.
+            if k not in error_sum:
+                error_sum[k] = np.zeros((batch, self.window_size, self.num_features))
 
-        for policy_index, mask in enumerate(self._masks):
+        masked_count = np.zeros((self.window_size, self.num_features))
+        for mask in self._masks:
             masked_count += 1.0 - mask
-            for chunk_start in range(0, batch, config.batch_size):
-                chunk = windows[chunk_start:chunk_start + config.batch_size]
-                for progress, squared in detector._impute_window_errors(
-                        chunk, mask, policy_index, rng):
-                    error_sum[progress][chunk_start:chunk_start + chunk.shape[0]] += squared
 
         coverage = np.maximum(masked_count.sum(axis=1), 1.0)  # (window,)
         return {progress: totals.sum(axis=2) / coverage
@@ -311,3 +330,14 @@ class IncrementalScorer:
             labels=labels,
             scores=view[:, self.num_steps - 1],
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the score reducer (worker pool, shared memory); idempotent."""
+        self._reducer.close()
+
+    def __enter__(self) -> "IncrementalScorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core import ImDiffusionDetector
+from ..core.detector import ImputationScoreSpec
+from ..inference import MultiprocessScoreReducer, ScoreReducer
 from .batcher import BatchResult, MicroBatcher
 from .metrics import ServiceMetrics
 from .router import StreamRouter, TelemetryEvent
@@ -56,6 +58,10 @@ class ServingConfig:
     max_pending: int = 64      # queue bound triggering backpressure
     history: int = 1024        # per-tenant score-cache / evaluation buffer
     raw_capacity: Optional[int] = None  # per-tenant raw ring (default from scorer)
+    # Sharded inference: fan each flushed batch out across this many scoring
+    # workers (1 = score in-process).  Scores are worker-count-invariant;
+    # see the README's "Sharded inference" section for when it helps.
+    score_workers: int = 1
     # Analytics layer (repro.analytics): queryable score history + alerting
     alert_policies: Sequence[str] = ()  # policy expressions (see parse_policy)
     analytics_history: Optional[int] = None  # score-store retention (default: history)
@@ -70,10 +76,17 @@ class DetectorService:
                  config: Optional[ServingConfig] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.config = config or ServingConfig()
+        if self.config.score_workers < 1:
+            raise ValueError("score_workers must be at least 1")
         self.metrics = ServiceMetrics(clock=clock)
+        reducer: Optional[ScoreReducer] = None
+        if self.config.score_workers > 1:
+            reducer = MultiprocessScoreReducer(
+                ImputationScoreSpec(detector), self.config.score_workers)
         self.scorer = IncrementalScorer(
             detector, history=self.config.history,
-            raw_capacity=self.config.raw_capacity)
+            raw_capacity=self.config.raw_capacity,
+            reducer=reducer)
         self.batcher = MicroBatcher(
             score_fn=self.scorer.score_window_batch,
             flush_size=self.config.flush_size,
@@ -190,6 +203,7 @@ class DetectorService:
         every configured alert policy is evaluated incrementally (events are
         queued on ``self.analytics`` — see :meth:`drain_alert_events`).
         """
+        scan_started = self.metrics.clock()
         alarms: List[Alarm] = []
         for tenant, dirty in list(self._dirty.items()):
             if not dirty:
@@ -210,6 +224,7 @@ class DetectorService:
                         tenant, start, scores, labels):
                     self.metrics.record_alert(event)
         self.metrics.alarms_raised += len(alarms)
+        self.metrics.record_alarm_scan(self.metrics.clock() - scan_started)
         return alarms
 
     # ------------------------------------------------------------------
@@ -222,3 +237,21 @@ class DetectorService:
     def tenant_view(self, tenant: str) -> ScoreView:
         """Current labels/scores over one tenant's retained evaluation buffer."""
         return self.scorer.decide(tenant)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the scorer's inference resources; idempotent.
+
+        With ``score_workers > 1`` this shuts the scoring-worker pool down
+        and unlinks the shared-memory parameter block.  Queued windows are
+        NOT scored — call :meth:`drain` first if their labels matter.
+        """
+        self.scorer.close()
+
+    def __enter__(self) -> "DetectorService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -24,18 +24,23 @@ execution detail:
 Workers are ``spawn``-started (fork-free), so everything that crosses the
 process boundary must be picklable: the :class:`ParallelLossSpec` is shipped
 once at pool start-up (module/optimizer transport is provided by
-``repro.nn``'s pickle support), after which each step exchanges only the
-current parameters, the batch shard and the gradient arrays.
+``repro.nn``'s pickle support).  Parameters never cross the pipes at all:
+each worker attaches once to a shared-memory parameter block
+(:mod:`repro.nn.shm`) that the parent re-publishes before every step — the
+same zero-copy transport the sharded inference engine uses — so a step
+message carries only the batch shard, its random payload and the block
+generation, and per-step serialization no longer scales with model size.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import traceback
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..inference.pool import WorkerPool, register_cleanup, unregister_cleanup
+from ..nn.shm import SharedParameterBlock, SharedParameterSpec, SharedParameterView
 from .loader import Batch
 from .trainer import GradientReducer, Trainer, TrainState
 
@@ -157,35 +162,43 @@ def _shard_bounds(num_samples: int, num_shards: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _worker_main(conn, spec: ParallelLossSpec) -> None:
-    """Gradient-worker loop: receive (params, shard), reply (loss, weight, grads).
+def _worker_main(conn, spec: ParallelLossSpec,
+                 shm_spec: SharedParameterSpec) -> None:
+    """Gradient-worker loop: receive (generation, shard), reply (loss, weight, grads).
 
-    Runs in a spawned subprocess.  The spec arrives pickled through the
-    process arguments; each subsequent message carries the parent's current
-    parameter arrays (overwriting the replica, so resume/early-stop restores
-    in the parent propagate automatically), one batch shard with its
-    pre-drawn random payload, and a slim :class:`TrainState`.  Exceptions are
-    caught per step and shipped back as formatted tracebacks so the parent
-    can re-raise without losing pipe lockstep.
+    Runs in a spawned subprocess.  The spec and the shared-memory handle
+    arrive pickled through the process arguments; the worker rebuilds its
+    replica once and swaps the parameters to zero-copy views of the parent's
+    block, so resume/early-stop restores in the parent propagate through the
+    next ``publish`` without any per-step parameter transfer.  Each message
+    carries the expected block generation, one batch shard with its
+    pre-drawn random payload, and a slim :class:`TrainState`.  Start-up
+    failures are remembered and re-raised per step, and per-step exceptions
+    ship back as formatted tracebacks, so the parent can re-raise without
+    losing pipe lockstep.
     """
-    parameters = spec.build()
+    view: Optional[SharedParameterView] = None
+    failure: Optional[str] = None
+    try:
+        parameters = spec.build()
+        view = SharedParameterView(shm_spec)
+        view.attach_to(parameters)
+    except Exception:  # noqa: BLE001 - reported on first step
+        failure = traceback.format_exc()
     while True:
         try:
             message = conn.recv()
         except EOFError:  # parent died / closed the pipe
-            return
+            break
         if message is None:
-            return
-        param_arrays, shard_arrays, shard_indices, payload, state = message
+            break
+        generation, shard_arrays, shard_indices, payload, state = message
         try:
-            if len(param_arrays) != len(parameters):
+            if failure is not None:
                 raise RuntimeError(
-                    f"worker rebuilt {len(parameters)} parameters but received "
-                    f"{len(param_arrays)}; spec.build() must mirror the "
-                    "parent trainer's parameter list"
-                )
-            for parameter, value in zip(parameters, param_arrays):
-                parameter.data = value
+                    "gradient worker failed to initialise:\n" + failure)
+            view.check_generation(generation)
+            for parameter in parameters:
                 parameter.grad = None
             batch = Batch(arrays=shard_arrays, indices=shard_indices)
             loss = spec.compute(batch, payload, state)
@@ -199,18 +212,28 @@ def _worker_main(conn, spec: ParallelLossSpec) -> None:
                        float(spec.weight(batch, payload)), gradients))
         except Exception:  # noqa: BLE001 - shipped to the parent verbatim
             conn.send(("error", traceback.format_exc()))
+    if view is not None:
+        view.close()
 
 
 class MultiprocessReducer(GradientReducer):
     """Shard each batch across spawned workers and average their gradients.
 
     The pool lives for the duration of one :meth:`Trainer.fit` call
-    (``open``/``close``); per step the parent broadcasts the current
-    parameters, scatters contiguous shards, and combines the replies in
-    shard order as ``sum(w_i * g_i) / sum(w_i)`` — the exact full-batch
-    gradient for every spec that honours the :class:`ParallelLossSpec`
-    weight contract.  A batch smaller than the pool simply leaves the
-    trailing workers idle for that step.
+    (``open``/``close``); per step the parent publishes the current
+    parameters to the shared-memory block (one memcpy — workers read them
+    through zero-copy views, see :mod:`repro.nn.shm`), scatters contiguous
+    shards, and combines the replies in shard order as
+    ``sum(w_i * g_i) / sum(w_i)`` — the exact full-batch gradient for every
+    spec that honours the :class:`ParallelLossSpec` weight contract.  A
+    batch smaller than the pool simply leaves the trailing workers idle for
+    that step.
+
+    ``close()`` is idempotent, runs as a context manager (inherited from
+    :class:`~repro.training.GradientReducer`) and is additionally registered
+    with the atexit cleanup registry while open, so an exception or Ctrl-C
+    mid-epoch cannot leak spawned workers or orphaned shared-memory
+    segments.
     """
 
     def __init__(self, spec: ParallelLossSpec, num_workers: int) -> None:
@@ -220,72 +243,77 @@ class MultiprocessReducer(GradientReducer):
         self.spec = spec
         self.num_workers = int(num_workers)
         self._trainer: Optional[Trainer] = None
-        self._processes: List = []
-        self._connections: List = []
+        self._pool: Optional[WorkerPool] = None
+        self._block: Optional[SharedParameterBlock] = None
 
     # ------------------------------------------------------------------
     def open(self, trainer: Trainer) -> None:
         self._trainer = trainer
-        if self._processes:
+        if self._pool is not None:
             return
-        context = multiprocessing.get_context("spawn")  # fork-free by design
         try:
-            for _ in range(self.num_workers):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(target=_worker_main,
-                                          args=(child_conn, self.spec),
-                                          daemon=True)
-                process.start()
-                child_conn.close()
-                self._processes.append(process)
-                self._connections.append(parent_conn)
+            self._block = SharedParameterBlock(trainer.parameters)
+            self._pool = WorkerPool(
+                _worker_main, (self.spec, self._block.spec()),
+                self.num_workers, name="gradient-worker")
+            self._pool.start()
         except Exception:
             # A partial pool must never survive: reap what did spawn so a
             # retried fit() starts from scratch instead of silently sharding
             # batches across fewer workers than requested.
             self.close()
             raise
+        register_cleanup(self)
 
     def close(self) -> None:
-        for conn in self._connections:
-            try:
-                conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive cleanup
-                process.terminate()
-                process.join(timeout=1.0)
-        for conn in self._connections:
-            conn.close()
-        self._processes = []
-        self._connections = []
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        block, self._block = self._block, None
+        if block is not None:
+            block.close()
+        unregister_cleanup(self)
 
     # ------------------------------------------------------------------
+    def _compose_step_message(self, generation: int, batch: Batch,
+                              payload: Tuple[np.ndarray, ...],
+                              state: TrainState, start: int, stop: int):
+        """The per-step pipe message for one shard — parameter-free by design.
+
+        Everything that scales with model size travels through the
+        shared-memory block instead; what crosses the pipe is only the block
+        generation, the shard's slice of the batch and payload arrays, and a
+        slim train state (regression-tested: pickled size is independent of
+        the parameter count).
+        """
+        return (
+            generation,
+            tuple(array[start:stop] for array in batch.arrays),
+            batch.indices[start:stop],
+            tuple(array[start:stop] for array in payload),
+            state,
+        )
+
     def accumulate(self, batch: Batch, state: TrainState) -> float:
         trainer = self._trainer
-        if len(self._connections) != self.num_workers:
+        if self._pool is None or self._pool.size != self.num_workers:
             raise RuntimeError(
-                f"worker pool holds {len(self._connections)} connections but "
-                f"{self.num_workers} were requested; call open() first"
+                f"worker pool holds {0 if self._pool is None else self._pool.size} "
+                f"connections but {self.num_workers} were requested; call "
+                "open() first"
             )
+        connections = self._pool.connections
         payload = self.spec.draw(batch, trainer.rng, state)
         bounds = _shard_bounds(batch.size, self.num_workers)
-        param_arrays = [np.asarray(p.data) for p in trainer.parameters]
+        generation = self._block.publish(trainer.parameters)
         slim_state = TrainState(epoch=state.epoch, step=state.step,
                                 batch=state.batch, last_loss=state.last_loss)
-        for (start, stop), conn in zip(bounds, self._connections):
-            conn.send((
-                param_arrays,
-                tuple(array[start:stop] for array in batch.arrays),
-                batch.indices[start:stop],
-                tuple(array[start:stop] for array in payload),
-                slim_state,
-            ))
+        for (start, stop), conn in zip(bounds, connections):
+            conn.send(self._compose_step_message(
+                generation, batch, payload, slim_state, start, stop))
 
         replies = []
-        for (start, stop), conn in zip(bounds, self._connections):
+        for _, conn in zip(bounds, connections):
             try:
                 replies.append(conn.recv())
             except EOFError:

@@ -51,6 +51,14 @@ class GradientReducer:
     def close(self) -> None:
         """Release resources acquired by :meth:`open`; idempotent."""
 
+    def __enter__(self) -> "GradientReducer":
+        # open() needs the trainer, so entering does not acquire; the context
+        # manager only guarantees release (close() must be idempotent).
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def accumulate(self, batch: Batch, state: "TrainState") -> float:
         """Leave the batch gradient in each parameter's ``grad`` slot.
 

@@ -1,0 +1,135 @@
+"""Shared-memory parameter transport: layout, publish/attach, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.shm import (
+    HEADER_BYTES,
+    SharedParameterBlock,
+    SharedParameterSpec,
+    SharedParameterView,
+)
+
+
+def _params(seed=0, shapes=((3, 4), (4,), (2, 3, 2))):
+    rng = np.random.default_rng(seed)
+    return [Tensor(rng.standard_normal(shape)) for shape in shapes]
+
+
+class TestBlockLayout:
+    def test_sized_to_header_plus_parameters(self):
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            expected = HEADER_BYTES + sum(p.data.size * 8 for p in params)
+            assert block.nbytes == expected
+
+    def test_spec_is_picklable_and_carries_shapes(self):
+        import pickle
+
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            spec = pickle.loads(pickle.dumps(block.spec()))
+            assert isinstance(spec, SharedParameterSpec)
+            assert spec.shapes == tuple(p.data.shape for p in params)
+            assert spec.num_parameters == len(params)
+
+    def test_rejects_non_float64(self):
+        with pytest.raises(TypeError, match="float64"):
+            SharedParameterBlock([np.zeros(3, dtype=np.float32)])
+
+
+class TestPublishAttach:
+    def test_round_trip_through_a_view(self):
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            block.publish(params)
+            view = SharedParameterView(block.spec())
+            try:
+                for param, slot in zip(params, view.slots):
+                    assert np.array_equal(param.data, slot)
+            finally:
+                view.close()
+
+    def test_attach_to_swaps_replica_data_in_place(self):
+        params = _params(seed=1)
+        replicas = _params(seed=2)
+        with SharedParameterBlock(params) as block:
+            block.publish(params)
+            view = SharedParameterView(block.spec())
+            try:
+                view.attach_to(replicas)
+                for param, replica in zip(params, replicas):
+                    assert np.array_equal(param.data, replica.data)
+                # A fresh publish is visible with no further transfer.
+                params[0].data = params[0].data + 1.0
+                block.publish(params)
+                assert np.array_equal(params[0].data, replicas[0].data)
+            finally:
+                view.close()
+
+    def test_generation_counts_publishes(self):
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            assert block.generation == 0
+            assert block.publish(params) == 1
+            assert block.publish(params) == 2
+            view = SharedParameterView(block.spec())
+            try:
+                assert view.generation == 2
+                view.check_generation(2)
+                with pytest.raises(RuntimeError, match="stale"):
+                    view.check_generation(1)
+            finally:
+                view.close()
+
+    def test_publish_rejects_count_and_shape_mismatches(self):
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            with pytest.raises(ValueError, match="parameters"):
+                block.publish(params[:-1])
+            bad = _params(shapes=((3, 4), (4,), (9,)))
+            with pytest.raises(ValueError, match="shape"):
+                block.publish(bad)
+
+    def test_attach_rejects_count_and_shape_mismatches(self):
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            view = SharedParameterView(block.spec())
+            try:
+                with pytest.raises(ValueError, match="build"):
+                    view.attach_to(params[:-1])
+                with pytest.raises(ValueError, match="shape"):
+                    view.attach_to(_params(shapes=((3, 4), (4,), (9,))))
+            finally:
+                view.close()
+
+
+class TestLifecycle:
+    def test_block_close_is_idempotent_and_unlinks(self):
+        params = _params()
+        block = SharedParameterBlock(params)
+        name = block.name
+        block.close()
+        block.close()
+        with pytest.raises(FileNotFoundError):
+            SharedParameterView(SharedParameterSpec(
+                name=name, shapes=tuple(p.data.shape for p in params)))
+
+    def test_closed_block_refuses_publish(self):
+        block = SharedParameterBlock(_params())
+        block.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            block.publish(_params())
+
+    def test_view_close_is_idempotent_and_never_unlinks(self):
+        params = _params()
+        with SharedParameterBlock(params) as block:
+            view = SharedParameterView(block.spec())
+            view.close()
+            view.close()
+            # The segment must survive a view detach: the parent owns it.
+            second = SharedParameterView(block.spec())
+            second.close()
