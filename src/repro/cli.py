@@ -202,19 +202,31 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """Inference-engine knobs shared by the scoring subcommands.
 
-    Both default to ``None`` (= keep the config/checkpoint value) so that a
+    All default to ``None`` (= keep the config/checkpoint value) so that a
     warm ``serve`` reload never silently reverts a published strided model
-    to the full trajectory.
+    to the full trajectory.  Sampler choices and help come from the
+    :mod:`repro.diffusion.samplers` registry, so registered third-party
+    samplers show up here automatically.
     """
-    parser.add_argument("--sampler", choices=("full", "strided"), default=None,
-                        help="reverse-diffusion trajectory: 'full' walks every "
-                             "step, 'strided' takes DDIM-style jumps over "
-                             "--num-inference-steps evenly spaced steps "
+    from .diffusion.samplers import SPACINGS, sampler_help, sampler_names
+
+    parser.add_argument("--sampler", choices=sampler_names(), default=None,
+                        help="reverse-diffusion trajectory: "
+                             f"{sampler_help()} "
                              "(default: the config/checkpoint value)")
     parser.add_argument("--num-inference-steps", type=int, default=None,
                         help="denoiser calls per reverse pass; implies "
                              "--sampler strided (default: ~num_steps/4 when "
-                             "strided is selected without a count)")
+                             "a subsequence sampler is selected without a "
+                             "count)")
+    parser.add_argument("--ddim-eta", type=float, default=None,
+                        help="transition-noise scale of --sampler ddim jumps "
+                             "in [0, 1]: 0 = deterministic (bit-identical to "
+                             "strided), 1 = DDPM-matched variance")
+    parser.add_argument("--stride-spacing", choices=SPACINGS, default=None,
+                        help="step spacing of subsequence trajectories: "
+                             "quadratic/karras concentrate visited steps "
+                             "near t=1 (default: uniform)")
 
 
 def _engine_overrides(args: argparse.Namespace) -> dict:
@@ -223,10 +235,20 @@ def _engine_overrides(args: argparse.Namespace) -> dict:
     if args.sampler is not None:
         overrides["sampler"] = args.sampler
         if args.sampler == "full":
-            # A leftover step count would re-imply strided in __post_init__.
+            # A leftover step count would re-imply strided in __post_init__,
+            # and leftover zoo knobs would fail the full sampler's
+            # validation.
             overrides["num_inference_steps"] = None
+            overrides["ddim_eta"] = 0.0
+            overrides["stride_spacing"] = "uniform"
+        elif args.sampler != "ddim":
+            overrides["ddim_eta"] = 0.0
     if args.num_inference_steps is not None:
         overrides["num_inference_steps"] = args.num_inference_steps
+    if args.ddim_eta is not None:
+        overrides["ddim_eta"] = args.ddim_eta
+    if args.stride_spacing is not None:
+        overrides["stride_spacing"] = args.stride_spacing
     return overrides
 
 

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..diffusion.samplers import SAMPLER_NAMES
+from ..diffusion.samplers import SPACINGS, sampler_names
 from ..training.loader import VALIDATION_SPLITS
 
 __all__ = ["ImDiffusionConfig"]
@@ -46,12 +46,21 @@ class ImDiffusionConfig:
       ``reconstruction`` (the modelling-mode ablations of Sec. 5.3.1).
     * ``sampler`` / ``num_inference_steps`` — the inference engine's
       speed/accuracy knob: ``"full"`` walks every reverse step (the exact
-      paper algorithm), ``"strided"`` visits ``num_inference_steps`` evenly
-      spaced steps with DDIM-style jumps, cutting denoiser calls by
-      ``~num_steps / num_inference_steps``.  Setting ``num_inference_steps``
-      implies ``sampler="strided"``; when only the sampler is set, the
-      strided trajectory defaults to roughly a quarter of the steps (a ~4x
-      scoring speedup).
+      paper algorithm); the subsequence samplers (``"strided"``, ``"ddim"``,
+      ``"pndm"``) visit ``num_inference_steps`` steps, cutting denoiser
+      calls by ``~num_steps / num_inference_steps``.  Samplers are resolved
+      against the :mod:`repro.diffusion.samplers` registry, so registered
+      third-party samplers are valid here too.  Setting
+      ``num_inference_steps`` with the default ``sampler="full"`` implies
+      ``sampler="strided"``; when only a subsequence sampler is named, its
+      trajectory defaults to roughly a quarter of the steps (a ~4x scoring
+      speedup).
+    * ``ddim_eta`` — transition-noise scale of the ``"ddim"`` sampler's
+      jumps: 0 (default) is the deterministic rule (bit-identical to
+      ``"strided"``), 1 matches the DDPM posterior variance.
+    * ``stride_spacing`` — step spacing of subsequence trajectories:
+      ``"uniform"`` (default), ``"quadratic"`` or ``"karras"`` (both
+      concentrate visited steps near ``t = 1``).
     * ``validation_fraction`` — hold this fraction of the training windows
       out of gradient descent; the held-out denoising loss is evaluated
       grad-free at every epoch end (with a dedicated generator, so the
@@ -61,6 +70,13 @@ class ImDiffusionConfig:
       ``"random"`` draws a deterministic permutation, ``"tail"`` holds out
       the last windows of the series (closest to production drift
       monitoring, and consumes no randomness).
+    * ``validation_antithetic`` — variance-reduced validation: evaluate the
+      held-out denoising loss at each drawn noise *and its negation* and
+      average the pair (antithetic variates on top of the common-random-
+      numbers reseed), so early stopping triggers on signal rather than
+      sampler variance.  Costs a second grad-free forward pass per
+      validation batch; off by default to preserve the historical loss
+      stream bit for bit.
     * ``num_workers`` — data-parallel training: shard every batch across
       this many spawned gradient workers whose averaged gradients feed the
       single optimizer step (:class:`repro.training.ParallelTrainer`).  1
@@ -108,6 +124,7 @@ class ImDiffusionConfig:
     train_stride: Optional[int] = None
     validation_fraction: float = 0.0
     validation_split: str = "random"
+    validation_antithetic: bool = False
     num_workers: int = 1
     early_stopping_patience: Optional[int] = None
     early_stopping_min_delta: float = 0.0
@@ -120,6 +137,8 @@ class ImDiffusionConfig:
     # Inference engine
     sampler: str = "full"
     num_inference_steps: Optional[int] = None
+    ddim_eta: float = 0.0
+    stride_spacing: str = "uniform"
 
     # Inference / ensembling
     ensemble: bool = True
@@ -148,8 +167,14 @@ class ImDiffusionConfig:
             raise ValueError("vote_fraction must be in (0, 1]")
         if not 0.0 < self.error_percentile < 100.0:
             raise ValueError("error_percentile must be in (0, 100)")
-        if self.sampler not in SAMPLER_NAMES:
-            raise ValueError(f"sampler must be one of {SAMPLER_NAMES}")
+        if self.sampler not in sampler_names():
+            raise ValueError(f"sampler must be one of {sampler_names()}")
+        if not 0.0 <= self.ddim_eta <= 1.0:
+            raise ValueError("ddim_eta must lie in [0, 1]")
+        if self.ddim_eta > 0.0 and self.sampler != "ddim":
+            raise ValueError("ddim_eta > 0 requires sampler='ddim'")
+        if self.stride_spacing not in SPACINGS:
+            raise ValueError(f"stride_spacing must be one of {SPACINGS}")
         if self.lr_schedule not in LR_SCHEDULES:
             raise ValueError(f"lr_schedule must be one of {LR_SCHEDULES}")
         if self.early_stopping_patience is not None and self.early_stopping_patience < 1:
@@ -167,10 +192,17 @@ class ImDiffusionConfig:
                 raise ValueError(
                     "num_inference_steps must lie in [2, num_steps]"
                 )
-            # Asking for fewer inference steps only makes sense with the
-            # strided sampler; setting the knob implies it rather than being
-            # silently ignored by the full trajectory.
-            self.sampler = "strided"
+            # Asking for fewer inference steps only makes sense with a
+            # subsequence sampler; setting the knob implies the strided one
+            # rather than being silently ignored by the full trajectory (an
+            # explicitly chosen zoo sampler is kept as-is).
+            if self.sampler == "full":
+                self.sampler = "strided"
+        if self.stride_spacing != "uniform" and self.sampler == "full":
+            raise ValueError(
+                "stride_spacing applies to subsequence samplers; "
+                "pick one of "
+                + str(tuple(n for n in sampler_names() if n != "full")))
         if self.stride is None:
             self.stride = self.window_size
 
@@ -185,10 +217,17 @@ class ImDiffusionConfig:
         """The :class:`~repro.diffusion.ReverseSampler` this config selects."""
         from ..diffusion.samplers import make_sampler
 
-        if self.sampler == "strided" and self.num_inference_steps is None:
+        if self.sampler == "full":
+            return make_sampler("full")
+        steps = self.num_inference_steps
+        if steps is None:
+            # A subsequence sampler named without a step budget defaults to
+            # roughly a quarter of the trajectory (a ~4x scoring speedup).
             steps = max(2, int(np.ceil(self.num_steps / 4)))
-            return make_sampler("strided", num_inference_steps=steps)
-        return make_sampler(self.sampler, num_inference_steps=self.num_inference_steps)
+        return make_sampler(
+            self.sampler, num_inference_steps=steps,
+            spacing=self.stride_spacing if self.stride_spacing != "uniform" else None,
+            eta=self.ddim_eta if self.sampler == "ddim" else None)
 
     @property
     def inference_steps(self) -> int:

@@ -36,12 +36,13 @@ from ..models import ImTransformer
 from ..nn import Adam, CosineLR, StepLR, no_grad
 from ..nn.serialization import load_checkpoint
 from ..training import (
-    VALIDATION_SEED_OFFSET,
     EarlyStopping,
     LRSchedule,
     ParallelLossSpec,
     ParallelTrainer,
     WindowLoader,
+    antithetic_loss,
+    crn_validation_rng,
     split_windows,
 )
 from .config import ImDiffusionConfig
@@ -286,10 +287,15 @@ class ImDiffusionDetector:
     def _make_validate_fn(self, val_windows: np.ndarray, masks_arr: np.ndarray):
         """Held-out denoising loss, evaluated grad-free at each epoch end.
 
-        The pass re-seeds a dedicated generator (``seed +
-        VALIDATION_SEED_OFFSET``) on every call, so each epoch sees identical
-        noise/timestep/policy draws — the curve is comparable across epochs —
-        and the training random stream is never consumed.
+        The pass re-seeds a dedicated common-random-numbers generator
+        (:func:`repro.training.crn_validation_rng`) on every call, so each
+        epoch sees identical noise/timestep/policy draws — the curve is
+        comparable across epochs — and the training random stream is never
+        consumed.  With ``config.validation_antithetic`` the loss is
+        additionally averaged over each noise draw and its negation
+        (:func:`repro.training.antithetic_loss`), halving the estimator's
+        odd-moment variance at the cost of a second forward pass; the
+        random stream consumed is identical either way.
         """
         config = self.config
         num_policies = masks_arr.shape[0]
@@ -300,15 +306,28 @@ class ImDiffusionDetector:
             model = self._imputer.model
             was_training = model.training
             model.eval()
-            rng = np.random.default_rng(config.seed + VALIDATION_SEED_OFFSET)
+            rng = crn_validation_rng(config.seed)
             total, count = 0.0, 0
             try:
                 with no_grad():
                     for batch in val_loader:
                         policies = rng.integers(0, num_policies, size=batch.size)
-                        loss = self._imputer.training_loss(
-                            batch.data, masks_arr[policies], policies, rng)
-                        total += float(loss.data) * batch.size
+                        if config.validation_antithetic:
+                            # draw_training_noise makes exactly the draws
+                            # training_loss(rng) would, so the CRN stream is
+                            # bit-identical with the flag on or off.
+                            steps, noise = self._imputer.draw_training_noise(
+                                batch.data, rng)
+                            value = antithetic_loss(
+                                lambda s, z: float(self._imputer.training_loss(
+                                    batch.data, masks_arr[policies], policies,
+                                    steps=s, noise=z).data),
+                                steps, noise)
+                        else:
+                            value = float(self._imputer.training_loss(
+                                batch.data, masks_arr[policies], policies,
+                                rng).data)
+                        total += value * batch.size
                         count += batch.size
             finally:
                 if was_training:

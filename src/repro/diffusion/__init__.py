@@ -1,12 +1,19 @@
 """Diffusion-model machinery: noise schedules, DDPM steps and imputation."""
 
-from .ddpm import GaussianDiffusion
+from .ddpm import GaussianDiffusion, TransitionTable
 from .imputation import ImputationResult, ImputedDiffusion, ImputeNoise
 from .samplers import (
+    DDIMSampler,
     FullReverseSampler,
+    PNDMSampler,
     ReverseSampler,
+    SPACINGS,
     StridedReverseSampler,
     make_sampler,
+    register_sampler,
+    sampler_help,
+    sampler_names,
+    trajectory_steps,
 )
 from .schedule import (
     NoiseSchedule,
@@ -18,13 +25,21 @@ from .schedule import (
 
 __all__ = [
     "GaussianDiffusion",
+    "TransitionTable",
     "ImputationResult",
     "ImputeNoise",
     "ImputedDiffusion",
     "ReverseSampler",
     "FullReverseSampler",
     "StridedReverseSampler",
+    "DDIMSampler",
+    "PNDMSampler",
+    "SPACINGS",
     "make_sampler",
+    "register_sampler",
+    "sampler_help",
+    "sampler_names",
+    "trajectory_steps",
     "NoiseSchedule",
     "cosine_beta_schedule",
     "linear_beta_schedule",

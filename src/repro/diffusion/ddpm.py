@@ -15,15 +15,72 @@ whose windows sit at *different* points of the reverse trajectory.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .schedule import NoiseSchedule
 
-__all__ = ["GaussianDiffusion"]
+__all__ = ["GaussianDiffusion", "TransitionTable"]
 
 StepLike = Union[int, np.integer, np.ndarray]
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """Per-trajectory reverse-transition coefficients, gathered once.
+
+    One entry per visited step of a reverse trajectory.  The inner loop of
+    :meth:`repro.diffusion.ImputedDiffusion.impute` repeats the same scalar
+    schedule gathers and ``sqrt`` work at every step of every window batch;
+    this table hoists all of it into a single vectorised precomputation so a
+    reverse step reduces to indexed scalar-times-array arithmetic.
+
+    Every coefficient is produced by *exactly* the float expression the
+    un-cached code path evaluates (same operand order, same operations), so
+    sampling through the table is bitwise identical to sampling without it —
+    the equivalence the cross-sampler test suite pins down.
+
+    Attributes
+    ----------
+    steps / prev_steps:
+        The visited steps ``t`` (descending) and each entry's successor
+        ``t_prev`` (0 terminates the trajectory).
+    sqrt_alpha_bar / sqrt_one_minus_alpha_bar:
+        ``sqrt(abar_t)`` and ``sqrt(1 - abar_t)`` — the ``x0``-from-``eps``
+        coefficients at ``t``.
+    sqrt_alpha / ddpm_eps_coef / ddpm_sigma:
+        The exact DDPM posterior step at ``t``:
+        ``mean = (x_t - ddpm_eps_coef * eps) / sqrt_alpha`` with noise scale
+        ``ddpm_sigma = sqrt(posterior_variance(t))`` (valid for adjacent
+        transitions ``t -> t-1``).
+    jump_x0_coef / jump_eps_coef / jump_sigma:
+        The (generalised) DDIM transition to ``t_prev``:
+        ``x_prev = jump_x0_coef * x0_hat + jump_eps_coef * eps
+        + jump_sigma * z`` where ``jump_x0_coef = sqrt(abar_prev)``,
+        ``jump_sigma`` is the DDIM ``sigma_t(eta)`` and ``jump_eps_coef =
+        sqrt(1 - abar_prev - jump_sigma**2)``.  At ``eta = 0`` this is the
+        deterministic jump rule bit for bit; terminal entries
+        (``t_prev == 0``) use ``abar_prev = 1``.
+    eta:
+        The DDIM noise scale the jump columns were built for.
+    """
+
+    steps: Tuple[int, ...]
+    prev_steps: Tuple[int, ...]
+    eta: float
+    sqrt_alpha_bar: np.ndarray
+    sqrt_one_minus_alpha_bar: np.ndarray
+    sqrt_alpha: np.ndarray
+    ddpm_eps_coef: np.ndarray
+    ddpm_sigma: np.ndarray
+    jump_x0_coef: np.ndarray
+    jump_eps_coef: np.ndarray
+    jump_sigma: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.steps)
 
 
 class GaussianDiffusion:
@@ -37,10 +94,75 @@ class GaussianDiffusion:
 
     def __init__(self, schedule: NoiseSchedule) -> None:
         self.schedule = schedule
+        self._table_cache: Dict[Tuple[Tuple[int, ...], float], TransitionTable] = {}
+        self._table_schedule: NoiseSchedule = schedule
 
     @property
     def num_steps(self) -> int:
         return self.schedule.num_steps
+
+    def __getstate__(self):
+        # The table cache is a pure derived quantity: drop it when pickling
+        # (e.g. shipping a scoring spec to inference workers) so payload size
+        # and content never depend on which trajectories ran first.
+        state = self.__dict__.copy()
+        state["_table_cache"] = {}
+        state["_table_schedule"] = state["schedule"]
+        return state
+
+    # ------------------------------------------------------------------
+    # Cached transition tables
+    # ------------------------------------------------------------------
+    def transition_table(self, trajectory: Sequence[int], eta: float = 0.0) -> TransitionTable:
+        """The :class:`TransitionTable` of a reverse trajectory, cached.
+
+        Tables are memoised per ``(trajectory, eta)`` and invalidated when
+        :attr:`schedule` is replaced, so repeated ``impute`` calls — and the
+        per-window-chunk calls of the sharded scoring engine — pay the
+        schedule gathers and ``sqrt`` work exactly once.
+        """
+        key = (tuple(int(t) for t in trajectory), float(eta))
+        if self._table_schedule is not self.schedule:
+            self._table_cache = {}
+            self._table_schedule = self.schedule
+        table = self._table_cache.get(key)
+        if table is None:
+            table = self._build_transition_table(key[0], key[1])
+            self._table_cache[key] = table
+        return table
+
+    def _build_transition_table(self, steps: Tuple[int, ...], eta: float) -> TransitionTable:
+        if not steps:
+            raise ValueError("trajectory must visit at least one step")
+        for t in steps:
+            self._check_step(t)
+        sched = self.schedule
+        idx = np.asarray(steps, dtype=np.int64) - 1
+        prev_steps = tuple(steps[1:]) + (0,)
+        prev_idx = np.asarray(prev_steps, dtype=np.int64) - 1  # -1 marks terminal
+        alpha_bar = sched.alpha_bars[idx]
+        # abar_0 := 1 for terminal transitions (the jump lands on clean data).
+        alpha_bar_prev = np.where(prev_idx >= 0,
+                                  sched.alpha_bars[np.maximum(prev_idx, 0)], 1.0)
+        # Adjacent-step sigma via the schedule's own scalar path so the t == 1
+        # special case (and every rounding) matches p_sample bit for bit.
+        posterior_var = np.array([sched.posterior_variance(int(t)) for t in steps])
+        # DDIM sigma_t(eta); 0 everywhere at eta = 0 and on terminal entries.
+        jump_sigma = eta * np.sqrt((1.0 - alpha_bar_prev) / (1.0 - alpha_bar)) \
+            * np.sqrt(np.maximum(1.0 - alpha_bar / alpha_bar_prev, 0.0))
+        return TransitionTable(
+            steps=tuple(steps),
+            prev_steps=prev_steps,
+            eta=float(eta),
+            sqrt_alpha_bar=np.sqrt(alpha_bar),
+            sqrt_one_minus_alpha_bar=np.sqrt(1.0 - alpha_bar),
+            sqrt_alpha=np.sqrt(sched.alphas[idx]),
+            ddpm_eps_coef=sched.betas[idx] / np.sqrt(1.0 - alpha_bar),
+            ddpm_sigma=np.sqrt(posterior_var),
+            jump_x0_coef=np.sqrt(alpha_bar_prev),
+            jump_eps_coef=np.sqrt(np.maximum(1.0 - alpha_bar_prev - jump_sigma ** 2, 0.0)),
+            jump_sigma=jump_sigma,
+        )
 
     # ------------------------------------------------------------------
     # Forward process

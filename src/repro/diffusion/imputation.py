@@ -79,8 +79,11 @@ class ImputeNoise:
         (``(batch, K, L)`` each, ordered along the trajectory).
     transition:
         Per visited step, the reverse-transition noise — ``None`` for steps
-        whose transition is noise-free (deterministic inference, DDIM jumps
-        and the terminal ``t == 1`` step).
+        whose transition is noise-free for the sampler in use (deterministic
+        inference, ``eta = 0`` jumps and the terminal ``t == 1`` step;
+        stochastic ``eta > 0`` DDIM jumps *do* carry a draw).  Which steps
+        sample is the sampler's :meth:`~repro.diffusion.ReverseSampler
+        .samples_noise` contract.
     """
 
     prior: np.ndarray
@@ -226,10 +229,10 @@ class ImputedDiffusion:
         for i, t in enumerate(trajectory):
             t_prev = trajectory[i + 1] if i + 1 < len(trajectory) else 0
             reference.append(rng.standard_normal(kl_shape))
-            # Mirrors the sampler/p_sample noise conditions: only adjacent
-            # non-terminal transitions sample (DDIM jumps are noise-free,
-            # t == 1 returns the posterior mean).
-            if not deterministic and t_prev == t - 1 and t > 1:
+            # The sampler itself declares which transitions consume a draw
+            # (adjacent DDPM steps, stochastic eta > 0 jumps, ...), keeping
+            # this pre-draw in lockstep with the draws `impute` makes.
+            if sampler.samples_noise(t, t_prev, deterministic):
                 transition.append(rng.standard_normal(kl_shape))
             else:
                 transition.append(None)
@@ -291,6 +294,11 @@ class ImputedDiffusion:
         x_t = prior * target_region
         intermediate: List[Tuple[int, np.ndarray]] = []
         trajectory = sampler.trajectory(self.diffusion.num_steps)
+        # Hoist the per-step schedule gathers / sqrt work out of the loop:
+        # the cached table turns every transition into indexed
+        # scalar-times-array arithmetic (bit-identical to the direct path).
+        table = self.diffusion.transition_table(trajectory, eta=sampler.eta)
+        sampler_state = sampler.init_state()
 
         with no_grad():
             for i, t in enumerate(trajectory):
@@ -303,11 +311,13 @@ class ImputedDiffusion:
                 predicted_eps = self.model(model_input, steps, policies).data
 
                 if collect == "x0":
-                    estimate = self.diffusion.predict_x0_from_eps(x_t, t, predicted_eps)
+                    estimate = (x_t - table.sqrt_one_minus_alpha_bar[i]
+                                * predicted_eps) / table.sqrt_alpha_bar[i]
                 x_prev = sampler.step(self.diffusion, x_t, t, t_prev, predicted_eps,
                                       rng=rng, deterministic=deterministic,
                                       noise=(noise.transition[i]
-                                             if noise is not None else None))
+                                             if noise is not None else None),
+                                      table=table, index=i, state=sampler_state)
                 x_prev = x_prev * target_region
                 if collect == "sample":
                     estimate = x_prev

@@ -134,13 +134,16 @@ def evaluate_labels(labels: np.ndarray, scores: np.ndarray, actual: np.ndarray,
 
 
 def _apply_engine_overrides(detector, sampler: Optional[str],
-                            num_inference_steps: Optional[int]):
+                            num_inference_steps: Optional[int],
+                            ddim_eta: Optional[float] = None,
+                            stride_spacing: Optional[str] = None):
     """Apply inference-engine config overrides to a detector, if it has any.
 
     Detectors whose ``config`` lacks a ``with_overrides`` method (all the
     baselines) are returned unchanged.
     """
-    if sampler is None and num_inference_steps is None:
+    if sampler is None and num_inference_steps is None and \
+            ddim_eta is None and stride_spacing is None:
         return detector
     config = getattr(detector, "config", None)
     if config is None or not hasattr(config, "with_overrides"):
@@ -149,10 +152,19 @@ def _apply_engine_overrides(detector, sampler: Optional[str],
     if sampler is not None:
         overrides["sampler"] = sampler
         if sampler == "full":
-            # A leftover step count would re-imply strided in __post_init__.
+            # A leftover step count would re-imply strided in __post_init__,
+            # and leftover zoo knobs would fail the full sampler's validation.
             overrides["num_inference_steps"] = None
+            overrides["ddim_eta"] = 0.0
+            overrides["stride_spacing"] = "uniform"
+        elif sampler != "ddim":
+            overrides["ddim_eta"] = 0.0
     if num_inference_steps is not None:
         overrides["num_inference_steps"] = num_inference_steps
+    if ddim_eta is not None:
+        overrides["ddim_eta"] = ddim_eta
+    if stride_spacing is not None:
+        overrides["stride_spacing"] = stride_spacing
     detector.config = config.with_overrides(**overrides)
     return detector
 
@@ -199,6 +211,8 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
                       num_runs: int = 3, detector_name: Optional[str] = None,
                       adjust: bool = True, sampler: Optional[str] = None,
                       num_inference_steps: Optional[int] = None,
+                      ddim_eta: Optional[float] = None,
+                      stride_spacing: Optional[str] = None,
                       validation_fraction: Optional[float] = None,
                       validation_split: Optional[str] = None,
                       score_workers: Optional[int] = None) -> EvaluationSummary:
@@ -213,10 +227,11 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
         The train/test split with ground-truth test labels.
     num_runs:
         Number of independent runs (the paper uses 6).
-    sampler, num_inference_steps:
+    sampler, num_inference_steps, ddim_eta, stride_spacing:
         Inference-engine overrides applied to every detector the factory
-        produces (``sampler="strided"`` with a small ``num_inference_steps``
-        trades a little accuracy for a proportional scoring speedup).
+        produces (a subsequence sampler with a small ``num_inference_steps``
+        trades a little accuracy for a proportional scoring speedup; see
+        the :mod:`repro.diffusion.samplers` registry for the zoo).
         Ignored for detectors without an ``ImDiffusionConfig``-style
         ``config`` attribute (the baselines).
     validation_fraction, validation_split:
@@ -238,7 +253,8 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
     summary = EvaluationSummary(detector=name, dataset=dataset.name)
     for run in range(num_runs):
         detector = detector_factory(run)
-        detector = _apply_engine_overrides(detector, sampler, num_inference_steps)
+        detector = _apply_engine_overrides(detector, sampler, num_inference_steps,
+                                           ddim_eta, stride_spacing)
         detector = _apply_validation_overrides(detector, validation_fraction,
                                                validation_split)
         fit_start = time.perf_counter()

@@ -21,6 +21,14 @@ order, regardless of worker count; tasks are pure given their payload; and
 the parent consumes results in plan order.  Scores are therefore invariant
 across worker counts, and a 1-worker pool reproduces the serial path
 bit for bit (``np.array_equal``, gated in ``benchmarks/test_serving_scale``).
+The contract covers the whole sampler zoo, stochastic samplers included:
+which reverse transitions consume randomness is the sampler's
+``samples_noise`` declaration, which ``draw`` honours through
+``draw_impute_noise`` — an ``eta > 0`` DDIM jump's noise rides in the task's
+:class:`~repro.diffusion.ImputeNoise` payload (and shards with it) exactly
+like the adjacent-step DDPM draws.  Samplers with per-pass state (the PNDM
+eps history) re-initialise it per ``impute`` call, i.e. per task, so
+sharding cannot leak history across chunk boundaries.
 
 Parameters cross the process boundary through the zero-copy shared-memory
 transport of :mod:`repro.nn.shm`: workers attach once at pool start-up and

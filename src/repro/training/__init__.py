@@ -58,6 +58,7 @@ from .parallel import (
     SpecReducer,
 )
 from .trainer import GradientReducer, SerialReducer, Trainer, TrainResult, TrainState
+from .variance import antithetic_loss, crn_validation_rng
 
 __all__ = [
     "Batch",
@@ -82,4 +83,6 @@ __all__ = [
     "Checkpoint",
     "LambdaCallback",
     "monitored_loss",
+    "antithetic_loss",
+    "crn_validation_rng",
 ]
