@@ -80,10 +80,10 @@ ABLATION_VARIANTS: Dict[str, dict] = {
 
 
 def bench_datasets() -> List[str]:
-    """The datasets included in the sweeps (all six unless overridden)."""
+    """The datasets included in the sweeps (the paper's six unless overridden)."""
     if _DATASET_OVERRIDE:
         return [name.strip() for name in _DATASET_OVERRIDE.split(",") if name.strip()]
-    return list_datasets()
+    return list_datasets(tag="paper")
 
 
 def imdiffusion_config(seed: int = 0, **overrides) -> ImDiffusionConfig:
@@ -139,9 +139,9 @@ def _dataset_percentile(name: str) -> float:
     here the percentile tracks the known anomaly ratio of the analogue so the
     alarm budget is comparable across datasets.
     """
-    from repro.data import DATASET_PROFILES
+    from repro.data import DATASET_REGISTRY
 
-    ratio = DATASET_PROFILES[name].anomaly_fraction
+    ratio = DATASET_REGISTRY.get(name).anomaly_fraction
     return float(np.clip(100.0 * (1.0 - 0.75 * ratio), 80.0, 98.5))
 
 

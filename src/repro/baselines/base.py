@@ -26,6 +26,7 @@ from ..nn import Adam, no_grad
 from ..training import (
     VALIDATION_SEED_OFFSET,
     VALIDATION_SPLITS,
+    AdversarialMethodLossSpec,
     EarlyStopping,
     MethodLossSpec,
     ParallelTrainer,
@@ -86,11 +87,37 @@ class BaseDetector(ABC):
     #: discriminator (which keeps stepping inside the loss function).
     _restore_best_weights: bool = True
 
+    #: Declarative data-parallel capability flag.  A class sets this True
+    #: when its training loss is factored as a :class:`ParallelLossSpec`
+    #: (picklable methods, parent-side randomness); ``num_workers > 1`` is
+    #: rejected otherwise with :attr:`parallel_unsupported_reason`.
+    supports_parallel: bool = False
+
+    #: The class-specific reason shown when ``num_workers > 1`` is rejected.
+    #: Subclasses that stay serial state their real constraint here.
+    parallel_unsupported_reason: str = \
+        "its training loss is not factored as a ParallelLossSpec"
+
     #: Name of the picklable loss *method* used for data-parallel training.
-    #: ``None`` marks the loss as not spawn-safe (it draws from ``self.rng``,
-    #: steps another model inside the closure, or depends on per-epoch
-    #: structure rebuilds), in which case ``num_workers > 1`` is rejected.
+    #: Takes ``(batch, state)``, or ``(batch, payload, state)`` when a
+    #: ``_parallel_draw_method`` is set.
     _parallel_loss_method: Optional[str] = None
+
+    #: Name of the method pre-drawing the loss's randomness in the parent:
+    #: ``(batch, rng, state) -> tuple of arrays`` whose leading dimension
+    #: indexes batch samples (so the payload shards alongside the batch).
+    _parallel_draw_method: Optional[str] = None
+
+    #: Name of the adversary (discriminator) loss method of GAN-style
+    #: detectors, ``(batch, payload, state)``.  When set, the spec also uses
+    #: ``_adversary_parameters()`` and the ``_discriminator_opt`` attribute
+    #: for the parent-side adversary step.
+    _adversary_loss_method: Optional[str] = None
+
+    #: Test/bench knob: route ``num_workers=1`` through the spec path
+    #: (``ParallelTrainer`` + ``SpecReducer``) instead of the frozen serial
+    #: closure, to exercise the bit-identity contract between the two.
+    _force_parallel_spec: bool = False
 
     def __init__(self, threshold_percentile: float = 97.0, use_pot: bool = False,
                  seed: int = 0,
@@ -223,15 +250,13 @@ class BaseDetector(ABC):
         common = dict(grad_clip=grad_clip,
                       callbacks=engine_callbacks + list(callbacks),
                       rng=self.rng, validate_fn=validate_fn)
-        if self.num_workers != 1:
+        if self.num_workers != 1 or self._force_parallel_spec:
             spec = self._parallel_spec()
             if spec is None:
                 raise ValueError(
-                    f"{self.name} does not support num_workers > 1: its "
-                    "training loss draws from the detector's rng, steps a "
-                    "second model inside the closure, or rebuilds structure "
-                    "per epoch — data-parallel worker replicas would "
-                    "desynchronise.  Train with num_workers=1."
+                    f"{self.name} does not support num_workers > 1: "
+                    f"{self.parallel_unsupported_reason}.  "
+                    "Train with num_workers=1."
                 )
             trainer = ParallelTrainer(parameters, optimizer, spec,
                                       num_workers=self.num_workers, **common)
@@ -246,17 +271,25 @@ class BaseDetector(ABC):
     def _parallel_spec(self) -> Optional[MethodLossSpec]:
         """The data-parallel loss spec of this detector, or ``None``.
 
-        Detectors opt in by exposing their loss as a picklable *method*
-        (named by ``_parallel_loss_method``) and implementing
-        :meth:`_trainer_parameters`; the spec then ships the whole detector
-        to each spawned worker once, and every batch is computed shard-wise
-        with shard-size weighting (exact for the per-sample mean losses the
-        baselines use).
+        Detectors opt in by setting :attr:`supports_parallel` and exposing
+        their loss as a picklable *method* (named by
+        ``_parallel_loss_method``) plus :meth:`_trainer_parameters`; the spec
+        then ships the whole detector to each spawned worker once, and every
+        batch is computed shard-wise with shard-size weighting (exact for
+        the per-sample mean losses the baselines use).  Stochastic losses
+        name a ``_parallel_draw_method`` so their randomness is drawn in the
+        parent; GAN-style detectors name an ``_adversary_loss_method`` so
+        the discriminator updates through the adversary-gradient reduction.
         """
-        if self._parallel_loss_method is None:
+        if not self.supports_parallel or self._parallel_loss_method is None:
             return None
+        if self._adversary_loss_method is not None:
+            return AdversarialMethodLossSpec(
+                self, self._parallel_loss_method, self._adversary_loss_method,
+                draw_method=self._parallel_draw_method)
         return MethodLossSpec(self, self._parallel_loss_method,
-                              "_trainer_parameters")
+                              "_trainer_parameters",
+                              draw_method=self._parallel_draw_method)
 
     def _trainer_parameters(self) -> List:
         """The trainable parameters, in the order given to ``_run_trainer``.

@@ -27,6 +27,9 @@ class BeatGANDetector(BaseDetector):
     # The discriminator trains outside the Trainer; rolling back only the
     # generator would desynchronise the adversarial pair.
     _restore_best_weights = False
+    supports_parallel = True
+    _parallel_loss_method = "_generator_loss"
+    _adversary_loss_method = "_adversary_loss"
 
     def __init__(self, window_size: int = 32, latent_dim: int = 16, hidden_dim: int = 64,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
@@ -54,9 +57,34 @@ class BeatGANDetector(BaseDetector):
         self._encoder: Optional[MLP] = None
         self._decoder: Optional[MLP] = None
         self._discriminator: Optional[Sequential] = None
+        self._discriminator_opt: Optional[Adam] = None
         self._window_size = window_size
 
     # ------------------------------------------------------------------
+    def _trainer_parameters(self):
+        return self._encoder.parameters() + self._decoder.parameters()
+
+    def _adversary_parameters(self):
+        return self._discriminator.parameters()
+
+    def _adversary_loss(self, batch, payload, state) -> Tensor:
+        """Discriminator objective: real windows vs detached reconstructions."""
+        batch_tensor = Tensor(batch.data)
+        reconstruction = self._decoder(self._encoder(batch_tensor)).detach()
+        real_pred = self._discriminator(batch_tensor)
+        fake_pred = self._discriminator(reconstruction)
+        return F.binary_cross_entropy(real_pred, Tensor(np.ones((batch.size, 1)))) + \
+            F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch.size, 1))))
+
+    def _generator_loss(self, batch, payload, state) -> Tensor:
+        """Generator objective: reconstruction + fool the discriminator."""
+        batch_tensor = Tensor(batch.data)
+        reconstruction = self._decoder(self._encoder(batch_tensor))
+        recon_loss = F.mse_loss(reconstruction, batch_tensor)
+        adv_pred = self._discriminator(reconstruction)
+        adv_loss = F.binary_cross_entropy(adv_pred, Tensor(np.ones((batch.size, 1))))
+        return recon_loss + self.adversarial_weight * adv_loss
+
     def _fit(self, train: np.ndarray) -> None:
         num_features = train.shape[1]
         self._window_size = min(self.window_size, train.shape[0])
@@ -75,8 +103,9 @@ class BeatGANDetector(BaseDetector):
             idx = self._subsample_indices(flat.shape[0], self.max_train_windows)
             flat = flat[idx]
 
-        generator_params = self._encoder.parameters() + self._decoder.parameters()
-        discriminator_opt = Adam(self._discriminator.parameters(), lr=self.learning_rate)
+        generator_params = self._trainer_parameters()
+        self._discriminator_opt = Adam(self._discriminator.parameters(),
+                                       lr=self.learning_rate)
 
         def adversarial_loss(batch, state):
             """Discriminator update inline, then the generator loss.
@@ -85,37 +114,17 @@ class BeatGANDetector(BaseDetector):
             discriminator takes its own Adam step here before the generator
             loss is formed, exactly the alternation of the original loop.
             """
-            batch_tensor = Tensor(batch.data)
-            batch_size = batch.size
-
-            # --- discriminator step: real vs reconstructed windows ---
-            reconstruction = self._decoder(self._encoder(batch_tensor)).detach()
-            discriminator_opt.zero_grad()
-            real_pred = self._discriminator(batch_tensor)
-            fake_pred = self._discriminator(reconstruction)
-            d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
-                F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
+            self._discriminator_opt.zero_grad()
+            d_loss = self._adversary_loss(batch, (), state)
             d_loss.backward()
-            discriminator_opt.step()
-
-            # --- generator loss: reconstruction + fool the discriminator ---
-            reconstruction = self._decoder(self._encoder(batch_tensor))
-            recon_loss = F.mse_loss(reconstruction, batch_tensor)
-            adv_pred = self._discriminator(reconstruction)
-            adv_loss = F.binary_cross_entropy(adv_pred, Tensor(np.ones((batch_size, 1))))
-            return recon_loss + self.adversarial_weight * adv_loss
+            self._discriminator_opt.step()
+            return self._generator_loss(batch, (), state)
 
         def validation_loss(batch, state):
             # Side-effect-free generator objective for the held-out pass:
             # same reconstruction + adversarial terms, but the discriminator
             # is only consulted, never stepped.
-            batch_tensor = Tensor(batch.data)
-            reconstruction = self._decoder(self._encoder(batch_tensor))
-            recon_loss = F.mse_loss(reconstruction, batch_tensor)
-            adv_pred = self._discriminator(reconstruction)
-            adv_loss = F.binary_cross_entropy(
-                adv_pred, Tensor(np.ones((batch.size, 1))))
-            return recon_loss + self.adversarial_weight * adv_loss
+            return self._generator_loss(batch, (), state)
 
         self._run_trainer(generator_params, adversarial_loss, (flat,),
                           epochs=self.epochs, batch_size=self.batch_size,

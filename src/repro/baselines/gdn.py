@@ -25,6 +25,9 @@ class GDNDetector(BaseDetector):
     """Graph-structure-learning forecaster with per-sensor deviation scoring."""
 
     name = "GDN"
+    supports_parallel = True
+    _parallel_loss_method = "_spec_deviation_loss"
+    _parallel_draw_method = "_draw_graph"
 
     def __init__(self, history: int = 12, embedding_dim: int = 16, top_k: int = 5,
                  hidden_dim: int = 32, epochs: int = 4, batch_size: int = 32,
@@ -53,6 +56,7 @@ class GDNDetector(BaseDetector):
         self._history_proj: Optional[Linear] = None
         self._output_head: Optional[MLP] = None
         self._adjacency: Optional[np.ndarray] = None
+        self._spec_adjacency: Optional[np.ndarray] = None
         self._error_median: Optional[np.ndarray] = None
         self._error_iqr: Optional[np.ndarray] = None
 
@@ -98,6 +102,30 @@ class GDNDetector(BaseDetector):
         """Project the sensor embedding to a multiplicative gate over hidden units."""
         return self._embedding_proj(embeddings).sigmoid()
 
+    def _trainer_parameters(self):
+        return ([self._sensor_embedding] + self._history_proj.parameters()
+                + self._embedding_proj.parameters() + self._output_head.parameters())
+
+    def _draw_graph(self, batch, rng: np.random.Generator, state):
+        """Epoch-frozen adjacency, shipped with the batch as a spec payload.
+
+        Consumes no randomness.  Rebuilt from the parent's current embeddings
+        at the first batch of every epoch (``state.batch == 0``) — the
+        embeddings have not moved since epoch start, so this equals the
+        serial ``on_epoch_start`` rebuild — and broadcast over the batch so
+        every shard carries the same graph.
+        """
+        if state.batch == 0 or self._spec_adjacency is None:
+            self._spec_adjacency = self._learn_graph()
+        num_sensors = self._spec_adjacency.shape[0]
+        return (np.broadcast_to(self._spec_adjacency,
+                                (batch.size, num_sensors, num_sensors)),)
+
+    def _spec_deviation_loss(self, batch, payload, state) -> Tensor:
+        batch_inputs, batch_targets = batch
+        prediction = self._forecast(batch_inputs, payload[0][0])
+        return F.mse_loss(prediction, Tensor(batch_targets))
+
     def _make_samples(self, series: np.ndarray) -> tuple:
         history = self.history
         inputs, targets, positions = [], [], []
@@ -116,8 +144,7 @@ class GDNDetector(BaseDetector):
         self._embedding_proj = Linear(self.embedding_dim, self.hidden_dim, rng=self.rng)
         self._output_head = MLP([self.hidden_dim, self.hidden_dim, 1], rng=self.rng)
 
-        parameters = ([self._sensor_embedding] + self._history_proj.parameters()
-                      + self._embedding_proj.parameters() + self._output_head.parameters())
+        parameters = self._trainer_parameters()
 
         inputs, targets, _ = self._make_samples(train)
         if inputs.shape[0] > self.max_train_samples:

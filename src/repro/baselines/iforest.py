@@ -73,6 +73,9 @@ class IsolationForestDetector(BaseDetector):
     """Isolation-forest anomaly detector over per-timestamp feature vectors."""
 
     name = "IForest"
+    supports_parallel = False
+    parallel_unsupported_reason = ("isolation forests have no gradient "
+                                   "training loop to shard")
 
     def __init__(self, num_trees: int = 50, subsample_size: int = 256,
                  context_window: int = 5, threshold_percentile: float = 97.0,

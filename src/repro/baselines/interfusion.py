@@ -31,6 +31,9 @@ class InterFusionDetector(BaseDetector):
     """Hierarchical two-view VAE reconstruction detector."""
 
     name = "InterFusion"
+    supports_parallel = True
+    _parallel_loss_method = "_spec_elbo_loss"
+    _parallel_draw_method = "_draw_vae_noise"
 
     def __init__(self, window_size: int = 32, metric_latent_dim: int = 8,
                  temporal_latent_dim: int = 8, hidden_dim: int = 32,
@@ -76,8 +79,38 @@ class InterFusionDetector(BaseDetector):
                             + self._temporal_logvar.parameters()
                             + self._decoder.parameters())
 
-    def _encode_decode(self, batch: np.ndarray, sample: bool = True):
-        """Return the reconstruction plus the variational statistics."""
+    def _trainer_parameters(self):
+        return list(self._parameters)
+
+    def _draw_vae_noise(self, batch, rng: np.random.Generator, state):
+        """Both reparameterisation draws of one batch, in the serial order.
+
+        The serial ELBO draws metric noise ``(B, L, mz)`` first and temporal
+        noise ``(B, tz)`` second from the same stream; pre-drawing in that
+        order keeps the spec path bit-identical.
+        """
+        length = batch.data.shape[1]
+        return (rng.standard_normal((batch.size, length, self.metric_latent_dim)),
+                rng.standard_normal((batch.size, self.temporal_latent_dim)))
+
+    def _spec_elbo_loss(self, batch, payload, state):
+        return self._hierarchical_elbo(batch.data, noise=payload)
+
+    def _hierarchical_elbo(self, data: np.ndarray, noise=None):
+        reconstruction, metric_mu, metric_logvar, temporal_mu, temporal_logvar = \
+            self._encode_decode(data, sample=True, noise=noise)
+        return F.mse_loss(reconstruction, Tensor(data)) \
+            + self.kl_weight * F.kl_divergence_normal(metric_mu.reshape(-1, self.metric_latent_dim),
+                                                      metric_logvar.reshape(-1, self.metric_latent_dim)) \
+            + self.kl_weight * F.kl_divergence_normal(temporal_mu, temporal_logvar)
+
+    def _encode_decode(self, batch: np.ndarray, sample: bool = True, noise=None):
+        """Return the reconstruction plus the variational statistics.
+
+        ``noise`` optionally injects the pre-drawn ``(metric, temporal)``
+        reparameterisation noise pair; when omitted (the serial path) both
+        draws come from ``self.rng`` in the same order.
+        """
         batch_size, length, _ = batch.shape
         x = Tensor(batch)
 
@@ -85,8 +118,9 @@ class InterFusionDetector(BaseDetector):
         metric_mu = metric_stats[:, :, :self.metric_latent_dim]
         metric_logvar = metric_stats[:, :, self.metric_latent_dim:].clip(-6.0, 6.0)
         if sample:
-            noise = Tensor(self.rng.standard_normal(metric_mu.shape))
-            metric_latent = metric_mu + (metric_logvar * 0.5).exp() * noise
+            drawn = noise[0] if noise is not None \
+                else self.rng.standard_normal(metric_mu.shape)
+            metric_latent = metric_mu + (metric_logvar * 0.5).exp() * Tensor(drawn)
         else:
             metric_latent = metric_mu
 
@@ -94,8 +128,9 @@ class InterFusionDetector(BaseDetector):
         temporal_mu = self._temporal_mu(final_hidden)
         temporal_logvar = self._temporal_logvar(final_hidden).clip(-6.0, 6.0)
         if sample:
-            noise = Tensor(self.rng.standard_normal(temporal_mu.shape))
-            temporal_latent = temporal_mu + (temporal_logvar * 0.5).exp() * noise
+            drawn = noise[1] if noise is not None \
+                else self.rng.standard_normal(temporal_mu.shape)
+            temporal_latent = temporal_mu + (temporal_logvar * 0.5).exp() * Tensor(drawn)
         else:
             temporal_latent = temporal_mu
 
@@ -118,12 +153,7 @@ class InterFusionDetector(BaseDetector):
             windows = windows[idx]
 
         def hierarchical_elbo(batch, state):
-            reconstruction, metric_mu, metric_logvar, temporal_mu, temporal_logvar = \
-                self._encode_decode(batch.data, sample=True)
-            return F.mse_loss(reconstruction, Tensor(batch.data)) \
-                + self.kl_weight * F.kl_divergence_normal(metric_mu.reshape(-1, self.metric_latent_dim),
-                                                          metric_logvar.reshape(-1, self.metric_latent_dim)) \
-                + self.kl_weight * F.kl_divergence_normal(temporal_mu, temporal_logvar)
+            return self._hierarchical_elbo(batch.data)
 
         self._run_trainer(self._parameters, hierarchical_elbo, (windows,),
                           epochs=self.epochs, batch_size=self.batch_size,

@@ -22,6 +22,7 @@ class LSTMADDetector(BaseDetector):
     """Forecasting-based detector: score = next-step prediction error."""
 
     name = "LSTM-AD"
+    supports_parallel = True
     _parallel_loss_method = "_forecast_loss"
 
     def __init__(self, history: int = 16, hidden_size: int = 32, num_layers: int = 1,

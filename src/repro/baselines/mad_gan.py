@@ -27,6 +27,10 @@ class MADGANDetector(BaseDetector):
     # The discriminator trains outside the Trainer; rolling back only the
     # generator would desynchronise the adversarial pair.
     _restore_best_weights = False
+    supports_parallel = True
+    _parallel_loss_method = "_generator_loss"
+    _parallel_draw_method = "_draw_latent"
+    _adversary_loss_method = "_adversary_loss"
 
     def __init__(self, window_size: int = 32, latent_dim: int = 8, hidden_size: int = 32,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
@@ -56,6 +60,7 @@ class MADGANDetector(BaseDetector):
         self._generator_head: Optional[Linear] = None
         self._discriminator_lstm: Optional[LSTM] = None
         self._discriminator_head: Optional[Linear] = None
+        self._discriminator_opt: Optional[Adam] = None
         self._window_size = window_size
 
     # ------------------------------------------------------------------
@@ -67,6 +72,32 @@ class MADGANDetector(BaseDetector):
         _, last_hidden = self._discriminator_lstm(windows)
         return self._discriminator_head(last_hidden).sigmoid()
 
+    def _trainer_parameters(self):
+        return self._generator_lstm.parameters() + self._generator_head.parameters()
+
+    def _adversary_parameters(self):
+        return (self._discriminator_lstm.parameters()
+                + self._discriminator_head.parameters())
+
+    def _draw_latent(self, batch, rng: np.random.Generator, state):
+        """The latent draw of one batch, shared by both rounds of the GAN step."""
+        return (rng.standard_normal((batch.size, self._window_size, self.latent_dim)),)
+
+    def _adversary_loss(self, batch, payload, state) -> Tensor:
+        """Discriminator objective: real windows vs detached generations."""
+        fake = self._generate(payload[0]).detach()
+        real_pred = self._discriminate(Tensor(batch.data))
+        fake_pred = self._discriminate(fake)
+        return F.binary_cross_entropy(real_pred, Tensor(np.ones((batch.size, 1)))) + \
+            F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch.size, 1))))
+
+    def _generator_loss(self, batch, payload, state) -> Tensor:
+        """Generator objective: fool the discriminator + stay close to real."""
+        generated = self._generate(payload[0])
+        g_pred = self._discriminate(generated)
+        return F.binary_cross_entropy(g_pred, Tensor(np.ones((batch.size, 1)))) + \
+            0.5 * F.mse_loss(generated, Tensor(batch.data))
+
     def _fit(self, train: np.ndarray) -> None:
         num_features = train.shape[1]
         self._window_size = min(self.window_size, train.shape[0])
@@ -75,10 +106,9 @@ class MADGANDetector(BaseDetector):
         self._discriminator_lstm = LSTM(num_features, self.hidden_size, rng=self.rng)
         self._discriminator_head = Linear(self.hidden_size, 1, rng=self.rng)
 
-        generator_params = self._generator_lstm.parameters() + self._generator_head.parameters()
-        discriminator_params = (self._discriminator_lstm.parameters()
-                                + self._discriminator_head.parameters())
-        discriminator_opt = Adam(discriminator_params, lr=self.learning_rate)
+        generator_params = self._trainer_parameters()
+        self._discriminator_opt = Adam(self._adversary_parameters(),
+                                       lr=self.learning_rate)
 
         windows, _ = self._windows(train, self._window_size, self._window_size // 2 or 1)
         if windows.shape[0] > self.max_train_windows:
@@ -87,35 +117,20 @@ class MADGANDetector(BaseDetector):
 
         def adversarial_loss(batch, state):
             # Discriminator update inline; the Trainer steps the generator.
-            real = batch.data
-            batch_size = batch.size
-            latent = self.rng.standard_normal((batch_size, self._window_size, self.latent_dim))
-
-            fake = self._generate(latent).detach()
-            discriminator_opt.zero_grad()
-            real_pred = self._discriminate(Tensor(real))
-            fake_pred = self._discriminate(fake)
-            d_loss = F.binary_cross_entropy(real_pred, Tensor(np.ones((batch_size, 1)))) + \
-                F.binary_cross_entropy(fake_pred, Tensor(np.zeros((batch_size, 1))))
+            # One latent draw feeds both rounds, as in the original loop.
+            payload = self._draw_latent(batch, self.rng, state)
+            self._discriminator_opt.zero_grad()
+            d_loss = self._adversary_loss(batch, payload, state)
             d_loss.backward()
-            discriminator_opt.step()
-
-            generated = self._generate(latent)
-            g_pred = self._discriminate(generated)
-            return F.binary_cross_entropy(g_pred, Tensor(np.ones((batch_size, 1)))) + \
-                0.5 * F.mse_loss(generated, Tensor(real))
+            self._discriminator_opt.step()
+            return self._generator_loss(batch, payload, state)
 
         def validation_loss(batch, state):
             # Side-effect-free generator objective for the held-out pass: the
             # discriminator is only consulted, never stepped, and the latent
             # draw comes from the dedicated validation generator.
-            real = batch.data
-            latent = self.rng.standard_normal(
-                (batch.size, self._window_size, self.latent_dim))
-            generated = self._generate(latent)
-            g_pred = self._discriminate(generated)
-            return F.binary_cross_entropy(g_pred, Tensor(np.ones((batch.size, 1)))) + \
-                0.5 * F.mse_loss(generated, Tensor(real))
+            payload = self._draw_latent(batch, self.rng, state)
+            return self._generator_loss(batch, payload, state)
 
         self._run_trainer(generator_params, adversarial_loss, (windows,),
                           val_loss_fn=validation_loss,

@@ -29,6 +29,7 @@ class MSCREDDetector(BaseDetector):
     """Signature-matrix reconstruction detector."""
 
     name = "MSCRED"
+    supports_parallel = True
     _parallel_loss_method = "_reconstruction_loss"
 
     def __init__(self, window_size: int = 32, scales: Tuple[int, ...] = (8, 16, 32),

@@ -24,6 +24,7 @@ class MTADGATDetector(BaseDetector):
     """Feature- and time-oriented attention with joint forecast + reconstruction."""
 
     name = "MTAD-GAT"
+    supports_parallel = True
     _parallel_loss_method = "_joint_loss"
 
     def __init__(self, window_size: int = 24, hidden_size: int = 32,

@@ -24,6 +24,9 @@ class OmniAnomalyDetector(BaseDetector):
     """Stochastic recurrent reconstruction detector (GRU encoder + VAE bottleneck)."""
 
     name = "OmniAnomaly"
+    supports_parallel = True
+    _parallel_loss_method = "_spec_elbo_loss"
+    _parallel_draw_method = "_draw_elbo_noise"
 
     def __init__(self, window_size: int = 32, hidden_size: int = 32, latent_dim: int = 8,
                  epochs: int = 5, batch_size: int = 16, learning_rate: float = 2e-3,
@@ -78,12 +81,31 @@ class OmniAnomalyDetector(BaseDetector):
                           batch_size=self.batch_size,
                           learning_rate=self.learning_rate)
 
+    def _trainer_parameters(self):
+        return (self._encoder.parameters() + self._mu_head.parameters()
+                + self._logvar_head.parameters() + self._decoder.parameters())
+
+    def _draw_elbo_noise(self, batch, rng: np.random.Generator, state):
+        """Reparameterisation noise of one batch, drawn in the parent.
+
+        The single draw of the serial ELBO, same shape and stream position
+        (``(batch, latent_dim)``), so pre-drawing keeps the spec path
+        bit-identical to :meth:`_elbo_loss`.
+        """
+        return (rng.standard_normal((batch.size, self.latent_dim)),)
+
+    def _spec_elbo_loss(self, batch, payload, state) -> Tensor:
+        return self._elbo_from_noise(batch.data, payload[0])
+
     def _elbo_loss(self, batch: np.ndarray) -> Tensor:
+        noise = self.rng.standard_normal((batch.shape[0], self.latent_dim))
+        return self._elbo_from_noise(batch, noise)
+
+    def _elbo_from_noise(self, batch: np.ndarray, noise: np.ndarray) -> Tensor:
         _, last_hidden = self._encoder(Tensor(batch))
         mu = self._mu_head(last_hidden)
         log_var = self._logvar_head(last_hidden).clip(-6.0, 6.0)
-        noise = Tensor(self.rng.standard_normal(mu.shape))
-        latent = mu + (log_var * 0.5).exp() * noise
+        latent = mu + (log_var * 0.5).exp() * Tensor(noise)
         reconstruction = self._decoder(latent)
         target = Tensor(batch.reshape(batch.shape[0], -1))
         return F.mse_loss(reconstruction, target) + self.kl_weight * F.kl_divergence_normal(mu, log_var)

@@ -24,6 +24,7 @@ class TranADDetector(BaseDetector):
     """Two-phase transformer reconstruction detector."""
 
     name = "TranAD"
+    supports_parallel = True
     _parallel_loss_method = "_two_phase_loss"
 
     def __init__(self, window_size: int = 24, hidden_size: int = 32, num_layers: int = 1,

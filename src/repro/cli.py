@@ -1,9 +1,11 @@
 """Command-line interface for the ImDiffusion reproduction.
 
-Six subcommands cover the common workflows without writing any code::
+Seven subcommands cover the common workflows without writing any code::
 
     repro detect   --dataset SMD --scale 0.1 --epochs 3
     repro compare  --dataset GCP --detectors ImDiffusion,IForest,LSTM-AD
+    repro bench    --detectors ImDiffusion,LSTM-AD --datasets SMD,GCP \\
+                   --samplers full,ddim --workers 1,2 --output BENCH_matrix.json
     repro train    --dataset GCP --early-stop-patience 3 --registry ./models
     repro datasets
     repro serve    --tenants 4 --samples 384 --export-scores scores.jsonl
@@ -17,7 +19,10 @@ detectors on the same dataset; ``train`` runs the training engine of
 :mod:`repro.training` (early stopping, LR schedules, resumable checkpoints),
 reports the loss curve and publishes the fitted model to a
 :class:`~repro.serving.ModelRegistry` so ``serve`` can warm-load it;
-``datasets`` lists the available dataset analogues with their profiles;
+``bench`` sweeps the detector × dataset × sampler × workers benchmark
+matrix of :mod:`repro.evaluation.matrix` and writes one schema-versioned
+``BENCH_matrix.json``; ``datasets`` lists the registered datasets with their
+registry metadata;
 ``serve`` runs the multi-tenant streaming service of :mod:`repro.serving` on
 simulated microservice latency streams, sharing one registry-loaded model
 across all tenants (``--policy`` attaches live alert policies,
@@ -40,7 +45,7 @@ import numpy as np
 
 from . import ImDiffusionConfig, ImDiffusionDetector
 from .baselines import BASELINE_REGISTRY
-from .data import DATASET_PROFILES, list_datasets, load_dataset
+from .data import list_datasets, load_dataset
 from .evaluation import EvaluationSummary, evaluate_labels, format_results_table
 
 __all__ = ["main", "build_parser"]
@@ -81,6 +86,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sharded inference for detectors that support "
                               "it (ImDiffusion); baselines score in-process")
     _add_validation_arguments(compare)
+
+    bench = subparsers.add_parser(
+        "bench", help="sweep the detector x dataset x sampler x workers matrix")
+    bench.add_argument("--detectors", default="ImDiffusion,IForest,LSTM-AD",
+                       help="comma-separated detector names "
+                            "(ImDiffusion or any baseline)")
+    bench.add_argument("--datasets", default="SMD,GCP",
+                       help="comma-separated registered dataset names")
+    bench.add_argument("--samplers", default="full",
+                       help="comma-separated diffusion samplers; detectors "
+                            "without the knob run the first one and skip the "
+                            "rest")
+    bench.add_argument("--workers", default="1",
+                       help="comma-separated gradient-worker counts; "
+                            "detectors without a parallel loss spec skip "
+                            "counts above 1")
+    bench.add_argument("--runs", type=int, default=1,
+                       help="independent (fit, predict) runs per cell "
+                            "(the paper protocol uses 6)")
+    bench.add_argument("--scale", type=float, default=0.05,
+                       help="length multiplier of every dataset")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--num-inference-steps", type=int, default=None,
+                       help="denoiser calls per reverse pass for subsequence "
+                            "samplers")
+    bench.add_argument("--output", default="BENCH_matrix.json",
+                       help="path of the JSON artifact (one document for the "
+                            "whole matrix)")
 
     train = subparsers.add_parser(
         "train", help="train ImDiffusion with the training engine and publish it")
@@ -477,6 +510,29 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from .evaluation import format_bench_matrix, run_bench_matrix, write_bench_matrix
+
+    def split(text: str) -> List[str]:
+        return [item.strip() for item in text.split(",") if item.strip()]
+
+    result = run_bench_matrix(
+        split(args.detectors), split(args.datasets),
+        samplers=split(args.samplers),
+        workers=[int(count) for count in split(args.workers)],
+        num_runs=args.runs, scale=args.scale, seed=args.seed,
+        num_inference_steps=args.num_inference_steps,
+        progress=print)
+    write_bench_matrix(result, args.output)
+    print()
+    print(format_bench_matrix(result))
+    ran = result["num_cells"] - result["num_skipped"]
+    print()
+    print(f"{ran} cells run, {result['num_skipped']} skipped "
+          f"-> {args.output} (schema v{result['schema_version']})")
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from .data.production import MicroserviceLatencySimulator, ProductionConfig
     from .serving import DetectorService, ModelRegistry, ServingConfig
@@ -678,11 +734,14 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 def _run_datasets() -> int:
-    print(f"{'name':6s} {'features':>8s} {'train':>7s} {'test':>7s} {'anomaly %':>10s}  description")
-    for name in list_datasets():
-        profile = DATASET_PROFILES[name]
-        print(f"{name:6s} {profile.num_features:8d} {profile.train_length:7d} "
-              f"{profile.test_length:7d} {profile.anomaly_fraction:10.1%}  {profile.description}")
+    from .data import DATASET_REGISTRY
+
+    print(f"{'name':8s} {'features':>8s} {'train':>7s} {'test':>7s} "
+          f"{'anomaly %':>10s} {'tags':16s}  description")
+    for entry in DATASET_REGISTRY.entries():
+        print(f"{entry.name:8s} {entry.num_features:8d} {entry.train_length:7d} "
+              f"{entry.test_length:7d} {entry.anomaly_fraction:10.1%} "
+              f"{','.join(entry.tags):16s}  {entry.description}")
     return 0
 
 
@@ -693,6 +752,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_detect(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "train":
         return _run_train(args)
     if args.command == "datasets":

@@ -1,8 +1,14 @@
 """Data substrate: synthetic benchmark analogues, windowing and preprocessing."""
 
 from .anomalies import ANOMALY_TYPES, AnomalySegment, inject_anomalies
-from .datasets import DATASET_PROFILES, DatasetProfile, MTSDataset, list_datasets, load_dataset
-from .generators import MTSConfig, generate_latent_factors, generate_mts
+from .datasets import (DATASET_PROFILES, DatasetProfile, MTSDataset, list_datasets,
+                       load_dataset, synthesize_dataset)
+from .generators import (MTSConfig, generate_drift_mts, generate_latent_factors,
+                         generate_mts, generate_regime_change_mts,
+                         generate_seasonal_load_mts)
+from .registry import (DATASET_REGISTRY, DatasetEntry, DatasetRegistry, dataset_rng,
+                       load_nasa_tree, load_smd_tree, register_dataset,
+                       register_directory)
 from .preprocessing import MinMaxScaler, StandardScaler
 from .production import MicroserviceLatencySimulator, ProductionConfig, ProductionTrace
 from .windows import label_windows, overlap_average, sliding_windows, window_starts
@@ -12,13 +18,25 @@ __all__ = [
     "AnomalySegment",
     "inject_anomalies",
     "DATASET_PROFILES",
+    "DATASET_REGISTRY",
+    "DatasetEntry",
     "DatasetProfile",
+    "DatasetRegistry",
     "MTSDataset",
+    "dataset_rng",
     "list_datasets",
     "load_dataset",
+    "load_nasa_tree",
+    "load_smd_tree",
+    "register_dataset",
+    "register_directory",
+    "synthesize_dataset",
     "MTSConfig",
+    "generate_drift_mts",
     "generate_latent_factors",
     "generate_mts",
+    "generate_regime_change_mts",
+    "generate_seasonal_load_mts",
     "MinMaxScaler",
     "StandardScaler",
     "MicroserviceLatencySimulator",

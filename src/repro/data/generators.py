@@ -22,7 +22,14 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["MTSConfig", "generate_latent_factors", "generate_mts"]
+__all__ = [
+    "MTSConfig",
+    "generate_latent_factors",
+    "generate_mts",
+    "generate_drift_mts",
+    "generate_regime_change_mts",
+    "generate_seasonal_load_mts",
+]
 
 
 @dataclass
@@ -141,3 +148,74 @@ def generate_mts(config: MTSConfig, rng: Optional[np.random.Generator] = None,
             series[:, k] = np.where(series[:, k] > np.median(series[:, k]), 1.0, 0.0)
             series[:, k] += rng.normal(0, 0.01, size=config.length)
     return series
+
+
+def generate_drift_mts(config: MTSConfig, rng: Optional[np.random.Generator] = None,
+                       phase_offset: float = 0.0,
+                       drift_strength: float = 0.6) -> np.ndarray:
+    """A series whose channel means drift slowly and nonlinearly over time.
+
+    Models the sensor-degradation / slow-load-growth regime that online
+    adaptation has to survive: each channel gets a monotone drift component
+    with a random curvature plus a low-frequency wobble, on top of the
+    standard :func:`generate_mts` structure.
+    """
+    rng = rng or np.random.default_rng()
+    series = generate_mts(config, rng, phase_offset=phase_offset)
+    t = np.linspace(0.0, 1.0, config.length)[:, None]
+    direction = rng.uniform(-1.0, 1.0, size=config.num_features)
+    curvature = rng.uniform(0.5, 2.5, size=config.num_features)
+    wobble_freq = rng.uniform(0.5, 1.5, size=config.num_features)
+    drift = direction * t ** curvature
+    wobble = 0.3 * np.sin(2 * np.pi * t * wobble_freq + phase_offset)
+    return series + drift_strength * (drift + wobble)
+
+
+def generate_regime_change_mts(config: MTSConfig,
+                               rng: Optional[np.random.Generator] = None,
+                               phase_offset: float = 0.0,
+                               num_regimes: int = 3) -> np.ndarray:
+    """A series that switches operating regime at random change points.
+
+    The channel structure stays fixed but each regime re-scales and
+    re-offsets every channel (a deployment/config-change analogue), which
+    produces abrupt non-anomalous distribution shifts detectors must not
+    flag wholesale.
+    """
+    if num_regimes < 1:
+        raise ValueError("num_regimes must be at least 1")
+    rng = rng or np.random.default_rng()
+    series = generate_mts(config, rng, phase_offset=phase_offset)
+    low = max(config.length // (num_regimes * 4), 1)
+    boundaries = np.sort(rng.integers(low, config.length, size=num_regimes - 1))
+    start = 0
+    for end in list(boundaries) + [config.length]:
+        gain = rng.uniform(0.7, 1.3, size=config.num_features)
+        offset = rng.uniform(-0.5, 0.5, size=config.num_features)
+        series[start:end] = series[start:end] * gain + offset
+        start = int(end)
+    return series
+
+
+def generate_seasonal_load_mts(config: MTSConfig,
+                               rng: Optional[np.random.Generator] = None,
+                               phase_offset: float = 0.0,
+                               load_strength: float = 1.2) -> np.ndarray:
+    """A series modulated by a plateaued daily/weekly load envelope.
+
+    Mimics user-facing traffic: a clipped diurnal cycle (plateaus at peak
+    and trough) further modulated by a weekly rhythm, with a per-channel
+    sensitivity so infrastructure channels react less than request-driven
+    ones.
+    """
+    rng = rng or np.random.default_rng()
+    series = generate_mts(config, rng, phase_offset=phase_offset)
+    t = np.arange(config.length, dtype=np.float64)
+    daily = config.periods[-1] if config.periods else 288
+    weekly = daily * 7
+    load = 0.5 * (1.0 + np.sin(2 * np.pi * t / daily + phase_offset))
+    load = np.clip(1.4 * load - 0.2, 0.0, 1.0)
+    weekly_mod = 0.75 + 0.25 * np.sin(2 * np.pi * t / weekly + 0.5 * phase_offset)
+    envelope = (0.4 + load_strength * load * weekly_mod)[:, None]
+    sensitivity = rng.uniform(0.3, 1.0, size=config.num_features)
+    return series * (1.0 + (envelope - 1.0) * sensitivity)

@@ -1,11 +1,20 @@
 """Evaluation metrics and the multi-run experiment harness."""
 
 from .delay import average_detection_delay, detection_delays
+from .matrix import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    bench_detector_factory,
+    format_bench_matrix,
+    run_bench_matrix,
+    write_bench_matrix,
+)
 from .metrics import ClassificationScores, anomaly_segments, point_adjust, precision_recall_f1
 from .range_metrics import auc_pr, range_auc_pr, soft_range_labels
 from .runner import (
     EvaluationSummary,
     RunMetrics,
+    apply_detector_overrides,
     average_summaries,
     evaluate_detector,
     evaluate_labels,
@@ -24,8 +33,15 @@ __all__ = [
     "soft_range_labels",
     "EvaluationSummary",
     "RunMetrics",
+    "apply_detector_overrides",
     "average_summaries",
     "evaluate_detector",
     "evaluate_labels",
     "format_results_table",
+    "BENCH_SCHEMA_VERSION",
+    "BenchCell",
+    "bench_detector_factory",
+    "format_bench_matrix",
+    "run_bench_matrix",
+    "write_bench_matrix",
 ]

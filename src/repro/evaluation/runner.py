@@ -23,7 +23,7 @@ from .metrics import precision_recall_f1
 from .range_metrics import range_auc_pr
 
 __all__ = ["RunMetrics", "EvaluationSummary", "evaluate_labels", "evaluate_detector",
-           "average_summaries", "format_results_table"]
+           "apply_detector_overrides", "average_summaries", "format_results_table"]
 
 
 @dataclass(frozen=True)
@@ -133,64 +133,67 @@ def evaluate_labels(labels: np.ndarray, scores: np.ndarray, actual: np.ndarray,
     )
 
 
-def _apply_engine_overrides(detector, sampler: Optional[str],
-                            num_inference_steps: Optional[int],
-                            ddim_eta: Optional[float] = None,
-                            stride_spacing: Optional[str] = None):
-    """Apply inference-engine config overrides to a detector, if it has any.
+def apply_detector_overrides(detector, *, sampler: Optional[str] = None,
+                             num_inference_steps: Optional[int] = None,
+                             ddim_eta: Optional[float] = None,
+                             stride_spacing: Optional[str] = None,
+                             validation_fraction: Optional[float] = None,
+                             validation_split: Optional[str] = None,
+                             num_workers: Optional[int] = None):
+    """Apply run-time config overrides to a detector, family-agnostically.
 
-    Detectors whose ``config`` lacks a ``with_overrides`` method (all the
-    baselines) are returned unchanged.
+    One funnel for the three override groups the harness and the bench
+    matrix share:
+
+    * *engine* knobs (``sampler``, ``num_inference_steps``, ``ddim_eta``,
+      ``stride_spacing``) go through the detector's
+      ``config.with_overrides``; detectors without such a config (the
+      baselines) ignore them,
+    * *validation* knobs (``validation_fraction``, ``validation_split``)
+      go through the config when there is one and otherwise set the
+      like-named detector attributes (read at ``fit`` time),
+    * ``num_workers`` follows the same config-or-attribute route.
+
+    ``None`` always means "keep the current value"; detectors without a
+    given knob are left unchanged.  Returns the detector.
     """
-    if sampler is None and num_inference_steps is None and \
-            ddim_eta is None and stride_spacing is None:
-        return detector
-    config = getattr(detector, "config", None)
-    if config is None or not hasattr(config, "with_overrides"):
-        return detector
-    overrides = {}
-    if sampler is not None:
-        overrides["sampler"] = sampler
-        if sampler == "full":
-            # A leftover step count would re-imply strided in __post_init__,
-            # and leftover zoo knobs would fail the full sampler's validation.
-            overrides["num_inference_steps"] = None
-            overrides["ddim_eta"] = 0.0
-            overrides["stride_spacing"] = "uniform"
-        elif sampler != "ddim":
-            overrides["ddim_eta"] = 0.0
-    if num_inference_steps is not None:
-        overrides["num_inference_steps"] = num_inference_steps
-    if ddim_eta is not None:
-        overrides["ddim_eta"] = ddim_eta
-    if stride_spacing is not None:
-        overrides["stride_spacing"] = stride_spacing
-    detector.config = config.with_overrides(**overrides)
-    return detector
-
-
-def _apply_validation_overrides(detector, validation_fraction: Optional[float],
-                                validation_split: Optional[str]):
-    """Apply held-out validation config overrides to a detector.
-
-    Works for both detector families: ``ImDiffusionConfig``-style detectors
-    get a config replacement, the baselines get their ``validation_fraction``
-    / ``validation_split`` attributes set (they are read at ``fit`` time).
-    Detectors with neither knob (IForest) are returned unchanged.
-    """
-    if validation_fraction is None and validation_split is None:
-        return detector
     if validation_fraction is not None and not 0.0 <= validation_fraction < 1.0:
         raise ValueError("validation_fraction must lie in [0, 1)")
     if validation_split is not None and validation_split not in VALIDATION_SPLITS:
         raise ValueError(f"validation_split must be one of {VALIDATION_SPLITS}")
+
+    config = getattr(detector, "config", None)
+    has_config = config is not None and hasattr(config, "with_overrides")
+
     overrides = {}
+    if has_config:
+        if sampler is not None:
+            overrides["sampler"] = sampler
+            if sampler == "full":
+                # A leftover step count would re-imply strided in
+                # __post_init__, and leftover zoo knobs would fail the full
+                # sampler's validation.
+                overrides["num_inference_steps"] = None
+                overrides["ddim_eta"] = 0.0
+                overrides["stride_spacing"] = "uniform"
+            elif sampler != "ddim":
+                overrides["ddim_eta"] = 0.0
+        if num_inference_steps is not None:
+            overrides["num_inference_steps"] = num_inference_steps
+        if ddim_eta is not None:
+            overrides["ddim_eta"] = ddim_eta
+        if stride_spacing is not None:
+            overrides["stride_spacing"] = stride_spacing
     if validation_fraction is not None:
         overrides["validation_fraction"] = float(validation_fraction)
     if validation_split is not None:
         overrides["validation_split"] = validation_split
-    config = getattr(detector, "config", None)
-    if config is not None and hasattr(config, "with_overrides"):
+    if num_workers is not None:
+        overrides["num_workers"] = int(num_workers)
+    if not overrides:
+        return detector
+
+    if has_config:
         detector.config = config.with_overrides(**overrides)
         return detector
     for name, value in overrides.items():
@@ -215,6 +218,7 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
                       stride_spacing: Optional[str] = None,
                       validation_fraction: Optional[float] = None,
                       validation_split: Optional[str] = None,
+                      num_workers: Optional[int] = None,
                       score_workers: Optional[int] = None) -> EvaluationSummary:
     """Run a detector ``num_runs`` times on ``dataset`` and aggregate the metrics.
 
@@ -240,6 +244,11 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
         windows).  Applied through the config for ImDiffusion and through
         the detector attributes for the baselines; detectors without the
         knobs are left unchanged.
+    num_workers:
+        Data-parallel training override: shard every gradient batch across
+        this many spawned workers.  Applied config-or-attribute like the
+        validation knobs; the random stream is worker-count invariant, so
+        metrics match the serial run up to float summation order.
     score_workers:
         Fan each run's scoring pass out across this many workers via the
         sharded inference engine (:mod:`repro.inference`).  Metrics are
@@ -252,11 +261,12 @@ def evaluate_detector(detector_factory: Callable[[int], object], dataset: MTSDat
     name = detector_name or getattr(detector_factory, "__name__", "detector")
     summary = EvaluationSummary(detector=name, dataset=dataset.name)
     for run in range(num_runs):
-        detector = detector_factory(run)
-        detector = _apply_engine_overrides(detector, sampler, num_inference_steps,
-                                           ddim_eta, stride_spacing)
-        detector = _apply_validation_overrides(detector, validation_fraction,
-                                               validation_split)
+        detector = apply_detector_overrides(
+            detector_factory(run), sampler=sampler,
+            num_inference_steps=num_inference_steps, ddim_eta=ddim_eta,
+            stride_spacing=stride_spacing,
+            validation_fraction=validation_fraction,
+            validation_split=validation_split, num_workers=num_workers)
         fit_start = time.perf_counter()
         detector.fit(dataset.train)
         train_seconds = time.perf_counter() - fit_start

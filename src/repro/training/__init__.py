@@ -51,6 +51,7 @@ from .loader import (
     split_windows,
 )
 from .parallel import (
+    AdversarialMethodLossSpec,
     MethodLossSpec,
     MultiprocessReducer,
     ParallelLossSpec,
@@ -73,6 +74,7 @@ __all__ = [
     "SerialReducer",
     "ParallelLossSpec",
     "MethodLossSpec",
+    "AdversarialMethodLossSpec",
     "SpecReducer",
     "MultiprocessReducer",
     "ParallelTrainer",

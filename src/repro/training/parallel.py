@@ -47,6 +47,7 @@ from .trainer import GradientReducer, Trainer, TrainState
 __all__ = [
     "ParallelLossSpec",
     "MethodLossSpec",
+    "AdversarialMethodLossSpec",
     "SpecReducer",
     "MultiprocessReducer",
     "ParallelTrainer",
@@ -77,7 +78,21 @@ class ParallelLossSpec:
 
     The contract: ``compute(batch, draw(batch, rng, state), state)`` must be
     bit-identical to the serial closure, consuming ``rng`` in the same order.
+
+    Specs of adversarially trained models additionally set ``has_adversary``
+    and implement the adversary hooks (see
+    :class:`AdversarialMethodLossSpec`): before each main-loss step the
+    reducers run one *adversary round* — compute ``adversary_compute`` over
+    the (sharded) batch, reduce the gradients onto the parent's adversary
+    parameters with the same weighted average, and take the adversary's
+    optimizer step in the parent — reproducing the serial GAN alternation
+    (discriminator step inside the loss closure) without worker replicas
+    ever stepping a model of their own.
     """
+
+    #: Whether the spec carries a second, adversarially trained model whose
+    #: parameters update before every main-loss computation.
+    has_adversary: bool = False
 
     def build(self) -> List:
         """Materialise the parameter list on the worker side.
@@ -99,6 +114,23 @@ class ParallelLossSpec:
     def weight(self, batch: Batch, payload: Tuple[np.ndarray, ...]) -> float:
         return float(batch.size)
 
+    # -- adversary hooks (no-ops unless ``has_adversary``) ---------------
+    def build_adversary(self) -> List:
+        """Materialise the adversary parameter list on the worker side."""
+        return []
+
+    def adversary_parameters(self) -> List:
+        """The parent-side adversary parameters (same order as the workers')."""
+        return []
+
+    def adversary_compute(self, batch: Batch, payload: Tuple[np.ndarray, ...],
+                          state: TrainState):
+        raise NotImplementedError
+
+    def adversary_step(self) -> None:
+        """Take the adversary's optimizer step in the parent."""
+        raise NotImplementedError
+
 
 class MethodLossSpec(ParallelLossSpec):
     """Spec over methods of a picklable owner (the baseline detectors).
@@ -106,23 +138,86 @@ class MethodLossSpec(ParallelLossSpec):
     Ships the owning detector to each worker once and resolves the loss and
     parameter-list methods by name, so a baseline opts into data parallelism
     by exposing its loss as a *method* (picklable by reference) instead of a
-    local closure.  Only valid for deterministic losses without in-loop side
-    effects: the worker-side owner is a replica, so anything the loss mutated
-    (discriminator steps, rng draws) would diverge from the parent.
+    local closure.  The loss must be rng-free and side-effect free in
+    ``compute``: the worker-side owner is a replica, so anything the loss
+    mutated there would diverge from the parent.  Losses that need
+    randomness name a ``draw_method`` — ``draw_method(batch, rng, state)``
+    runs in the parent on the trainer's generator and its result is handed
+    to the loss as a ``payload`` argument (sharded alongside the batch), so
+    the random stream stays worker-count invariant; the loss method then
+    takes ``(batch, payload, state)`` instead of ``(batch, state)``.
     """
 
     def __init__(self, owner, loss_method: str,
-                 parameters_method: str = "_trainer_parameters") -> None:
+                 parameters_method: str = "_trainer_parameters",
+                 draw_method: Optional[str] = None) -> None:
         self.owner = owner
         self.loss_method = loss_method
         self.parameters_method = parameters_method
+        self.draw_method = draw_method
 
     def build(self) -> List:
         return list(getattr(self.owner, self.parameters_method)())
 
+    def draw(self, batch: Batch, rng: Optional[np.random.Generator],
+             state: TrainState) -> Tuple[np.ndarray, ...]:
+        if self.draw_method is None:
+            return ()
+        return tuple(getattr(self.owner, self.draw_method)(batch, rng, state))
+
     def compute(self, batch: Batch, payload: Tuple[np.ndarray, ...],
                 state: TrainState):
-        return getattr(self.owner, self.loss_method)(batch, state)
+        if self.draw_method is None:
+            return getattr(self.owner, self.loss_method)(batch, state)
+        return getattr(self.owner, self.loss_method)(batch, payload, state)
+
+
+class AdversarialMethodLossSpec(MethodLossSpec):
+    """Method spec for GAN-style baselines with a parent-stepped adversary.
+
+    The serial GAN closures interleave a discriminator update into the loss
+    function; sharded workers cannot replay that (each replica would step a
+    private discriminator on its shard and diverge).  This spec factors the
+    alternation the same way the main loss is factored: workers compute the
+    *gradients* of ``adversary_loss_method`` on their shard, the parent
+    weight-averages them onto the real discriminator and steps its optimizer
+    (``adversary_optimizer_attr``, an attribute of the owner), and only then
+    is the main loss computed against the freshly updated adversary — the
+    exact serial ordering.  Both loss methods take ``(batch, payload,
+    state)``, sharing one payload so e.g. MAD-GAN's latent draw feeds the
+    discriminator and generator phases with the same noise, as the serial
+    closure does.
+    """
+
+    has_adversary = True
+
+    def __init__(self, owner, loss_method: str, adversary_loss_method: str,
+                 parameters_method: str = "_trainer_parameters",
+                 adversary_parameters_method: str = "_adversary_parameters",
+                 adversary_optimizer_attr: str = "_discriminator_opt",
+                 draw_method: Optional[str] = None) -> None:
+        super().__init__(owner, loss_method, parameters_method,
+                         draw_method=draw_method)
+        self.adversary_loss_method = adversary_loss_method
+        self.adversary_parameters_method = adversary_parameters_method
+        self.adversary_optimizer_attr = adversary_optimizer_attr
+
+    def compute(self, batch: Batch, payload: Tuple[np.ndarray, ...],
+                state: TrainState):
+        return getattr(self.owner, self.loss_method)(batch, payload, state)
+
+    def build_adversary(self) -> List:
+        return list(getattr(self.owner, self.adversary_parameters_method)())
+
+    def adversary_parameters(self) -> List:
+        return list(getattr(self.owner, self.adversary_parameters_method)())
+
+    def adversary_compute(self, batch: Batch, payload: Tuple[np.ndarray, ...],
+                          state: TrainState):
+        return getattr(self.owner, self.adversary_loss_method)(batch, payload, state)
+
+    def adversary_step(self) -> None:
+        getattr(self.owner, self.adversary_optimizer_attr).step()
 
 
 class SpecReducer(GradientReducer):
@@ -143,6 +238,16 @@ class SpecReducer(GradientReducer):
 
     def accumulate(self, batch: Batch, state: TrainState) -> float:
         payload = self.spec.draw(batch, self._trainer.rng, state)
+        if self.spec.has_adversary:
+            # Serial adversary alternation: zero the adversary's grads,
+            # backpropagate its loss over the full batch and step its
+            # optimizer before the main loss sees it — the exact sequence
+            # the legacy GAN closures ran inline.
+            for parameter in self.spec.adversary_parameters():
+                parameter.grad = None
+            adversary_loss = self.spec.adversary_compute(batch, payload, state)
+            adversary_loss.backward()
+            self.spec.adversary_step()
         loss = self.spec.compute(batch, payload, state)
         loss.backward()
         return float(loss.data)
@@ -181,8 +286,12 @@ def _worker_main(conn, spec: ParallelLossSpec,
     failure: Optional[str] = None
     try:
         parameters = spec.build()
+        adversary_parameters = spec.build_adversary() if spec.has_adversary else []
         view = SharedParameterView(shm_spec)
-        view.attach_to(parameters)
+        # The parent's block covers main + adversary parameters in that
+        # order; both groups become zero-copy views so each publish refreshes
+        # the whole replica at once.
+        view.attach_to(parameters + adversary_parameters)
     except Exception:  # noqa: BLE001 - reported on first step
         failure = traceback.format_exc()
     while True:
@@ -192,22 +301,30 @@ def _worker_main(conn, spec: ParallelLossSpec,
             break
         if message is None:
             break
-        generation, shard_arrays, shard_indices, payload, state = message
+        phase, generation, shard_arrays, shard_indices, payload, state = message
         try:
             if failure is not None:
                 raise RuntimeError(
                     "gradient worker failed to initialise:\n" + failure)
             view.check_generation(generation)
-            for parameter in parameters:
+            # Zero both groups: the main loss of a GAN backpropagates into
+            # the adversary too (through the fooling term), and those stray
+            # grads must not leak into the next adversary round.
+            for parameter in parameters + adversary_parameters:
                 parameter.grad = None
             batch = Batch(arrays=shard_arrays, indices=shard_indices)
-            loss = spec.compute(batch, payload, state)
+            if phase == "adversary":
+                loss = spec.adversary_compute(batch, payload, state)
+                report = adversary_parameters
+            else:
+                loss = spec.compute(batch, payload, state)
+                report = parameters
             loss.backward()
             # None marks a parameter the loss did not touch; it must stay
             # None through the reduction, because the optimizers skip
             # None-grad parameters entirely (no moment decay) and the
             # parallel run must match that serial semantic.
-            gradients = [parameter.grad for parameter in parameters]
+            gradients = [parameter.grad for parameter in report]
             conn.send(("ok", float(loss.data),
                        float(spec.weight(batch, payload)), gradients))
         except Exception:  # noqa: BLE001 - shipped to the parent verbatim
@@ -245,6 +362,7 @@ class MultiprocessReducer(GradientReducer):
         self._trainer: Optional[Trainer] = None
         self._pool: Optional[WorkerPool] = None
         self._block: Optional[SharedParameterBlock] = None
+        self._all_parameters: List = []
 
     # ------------------------------------------------------------------
     def open(self, trainer: Trainer) -> None:
@@ -252,7 +370,12 @@ class MultiprocessReducer(GradientReducer):
         if self._pool is not None:
             return
         try:
-            self._block = SharedParameterBlock(trainer.parameters)
+            # Adversary parameters ride in the same shared block, after the
+            # trainer's own, so one publish refreshes both models in every
+            # worker (the workers attach in the same concatenated order).
+            self._all_parameters = (list(trainer.parameters)
+                                    + list(self.spec.adversary_parameters()))
+            self._block = SharedParameterBlock(self._all_parameters)
             self._pool = WorkerPool(
                 _worker_main, (self.spec, self._block.spec()),
                 self.num_workers, name="gradient-worker")
@@ -275,18 +398,20 @@ class MultiprocessReducer(GradientReducer):
         unregister_cleanup(self)
 
     # ------------------------------------------------------------------
-    def _compose_step_message(self, generation: int, batch: Batch,
+    def _compose_step_message(self, phase: str, generation: int, batch: Batch,
                               payload: Tuple[np.ndarray, ...],
                               state: TrainState, start: int, stop: int):
         """The per-step pipe message for one shard — parameter-free by design.
 
         Everything that scales with model size travels through the
-        shared-memory block instead; what crosses the pipe is only the block
-        generation, the shard's slice of the batch and payload arrays, and a
-        slim train state (regression-tested: pickled size is independent of
-        the parameter count).
+        shared-memory block instead; what crosses the pipe is only the phase
+        tag (``"loss"`` or ``"adversary"``), the block generation, the
+        shard's slice of the batch and payload arrays, and a slim train
+        state (regression-tested: pickled size is independent of the
+        parameter count).
         """
         return (
+            phase,
             generation,
             tuple(array[start:stop] for array in batch.arrays),
             batch.indices[start:stop],
@@ -294,23 +419,24 @@ class MultiprocessReducer(GradientReducer):
             state,
         )
 
-    def accumulate(self, batch: Batch, state: TrainState) -> float:
-        trainer = self._trainer
-        if self._pool is None or self._pool.size != self.num_workers:
-            raise RuntimeError(
-                f"worker pool holds {0 if self._pool is None else self._pool.size} "
-                f"connections but {self.num_workers} were requested; call "
-                "open() first"
-            )
+    def _sharded_round(self, phase: str, batch: Batch,
+                       payload: Tuple[np.ndarray, ...], state: TrainState,
+                       targets: Sequence) -> float:
+        """One scatter/gather round: leave the reduced gradients on ``targets``.
+
+        Publishes the current parameters (so the workers see the freshest
+        weights — in particular the adversary step taken between the two
+        rounds of a GAN batch), shards the batch, and folds the replies as
+        ``sum(w_i * g_i) / sum(w_i)``.  Returns the weighted batch loss.
+        """
         connections = self._pool.connections
-        payload = self.spec.draw(batch, trainer.rng, state)
         bounds = _shard_bounds(batch.size, self.num_workers)
-        generation = self._block.publish(trainer.parameters)
+        generation = self._block.publish(self._all_parameters)
         slim_state = TrainState(epoch=state.epoch, step=state.step,
                                 batch=state.batch, last_loss=state.last_loss)
         for (start, stop), conn in zip(bounds, connections):
             conn.send(self._compose_step_message(
-                generation, batch, payload, slim_state, start, stop))
+                phase, generation, batch, payload, slim_state, start, stop))
 
         replies = []
         for _, conn in zip(bounds, connections):
@@ -331,13 +457,13 @@ class MultiprocessReducer(GradientReducer):
             # IS the batch output — no averaging, bitwise identical to a
             # one-worker step.
             _, loss_value, _, gradients = replies[0]
-            for parameter, gradient in zip(trainer.parameters, gradients):
+            for parameter, gradient in zip(targets, gradients):
                 parameter.grad = gradient
             return loss_value
 
         total_weight = 0.0
         total_loss = 0.0
-        totals: List[Optional[np.ndarray]] = [None] * len(trainer.parameters)
+        totals: List[Optional[np.ndarray]] = [None] * len(targets)
         for _, loss_value, weight, gradients in replies:
             total_weight += weight
             total_loss += weight * loss_value
@@ -351,9 +477,32 @@ class MultiprocessReducer(GradientReducer):
             raise RuntimeError("gradient workers reported non-positive total weight")
         # A parameter no shard touched keeps grad=None, exactly as a serial
         # backward would have left it (the optimizers skip such parameters).
-        for parameter, total in zip(trainer.parameters, totals):
+        for parameter, total in zip(targets, totals):
             parameter.grad = None if total is None else total / total_weight
         return total_loss / total_weight
+
+    def accumulate(self, batch: Batch, state: TrainState) -> float:
+        trainer = self._trainer
+        if self._pool is None or self._pool.size != self.num_workers:
+            raise RuntimeError(
+                f"worker pool holds {0 if self._pool is None else self._pool.size} "
+                f"connections but {self.num_workers} were requested; call "
+                "open() first"
+            )
+        payload = self.spec.draw(batch, trainer.rng, state)
+        if self.spec.has_adversary:
+            # Round 1 — discriminator: sharded gradients of the adversary
+            # loss, reduced onto the parent's adversary parameters, then the
+            # adversary's own optimizer step (unclipped, as in the serial
+            # closures).  The next publish ships the updated weights.
+            adversary = self.spec.adversary_parameters()
+            for parameter in adversary:
+                parameter.grad = None
+            self._sharded_round("adversary", batch, payload, state, adversary)
+            self.spec.adversary_step()
+        # Round 2 (or the only round) — the trainer's own loss.
+        return self._sharded_round("loss", batch, payload, state,
+                                   trainer.parameters)
 
 
 class ParallelTrainer(Trainer):

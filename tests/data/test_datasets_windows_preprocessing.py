@@ -22,7 +22,9 @@ from repro.data import (
 
 class TestDatasets:
     def test_all_six_datasets_listed(self):
-        assert sorted(list_datasets()) == ["GCP", "MSL", "PSM", "SMAP", "SMD", "SWaT"]
+        assert list_datasets(tag="paper") == ["SMD", "PSM", "SWaT", "SMAP", "MSL", "GCP"]
+        assert set(list_datasets()) >= {"SMD", "PSM", "SWaT", "SMAP", "MSL", "GCP",
+                                        "DRIFT", "REGIME", "SEASONAL"}
 
     @pytest.mark.parametrize("name", ["SMD", "PSM", "SWaT", "SMAP", "MSL", "GCP"])
     def test_dataset_shapes_and_labels(self, name):

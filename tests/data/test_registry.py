@@ -1,0 +1,257 @@
+"""Dataset registry contract: determinism, legacy bit-identity, adapters.
+
+The frozen checksums below were computed from the pre-registry
+``load_dataset`` implementation (the hand-rolled name → profile dispatch) at
+``scale=0.05``.  The registry migration must reproduce every legacy dataset
+byte-for-byte; any change to :func:`repro.data.datasets.synthesize_dataset`,
+the generator functions or the seed contract shows up here first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_REGISTRY,
+    DatasetEntry,
+    DatasetRegistry,
+    MTSDataset,
+    dataset_rng,
+    list_datasets,
+    load_dataset,
+    load_nasa_tree,
+    load_smd_tree,
+    register_dataset,
+    register_directory,
+)
+
+
+def _checksum(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()[:16]
+
+
+def _triple(dataset) -> tuple:
+    return (_checksum(dataset.train), _checksum(dataset.test),
+            _checksum(dataset.test_labels))
+
+
+# Frozen (train, test, test_labels) sha256 prefixes of the pre-registry
+# loader at scale=0.05 — the bit-identity floor of the migration.
+LEGACY_CHECKSUMS = {
+    ("SMD", 0): ("f4feb64e295da299", "e1574a58db2d4a0a", "7c4b4e0c959ce8ba"),
+    ("SMD", 1): ("5e44a3bd1b26b802", "d94fd9e975ab66a4", "88044dfe96ac0395"),
+    ("PSM", 0): ("3d63aa32f1882adb", "ac984df0dfdd02e5", "032d125881864ba7"),
+    ("PSM", 1): ("50fa50339485e30e", "9c657ccb7d93af99", "9a7393d9a626c693"),
+    ("SWaT", 0): ("f6895733b6c8f796", "3d0b273c53e8f14b", "6daf7912a9694685"),
+    ("SWaT", 1): ("44327acfc90c356d", "5a23d977e753f4a6", "67abe24960ad2949"),
+    ("SMAP", 0): ("1040a87e37da66e2", "e9f965af2d4ce5bf", "f8bd450e9bbefed9"),
+    ("SMAP", 1): ("b5beac03ec25a903", "c59ac667e408c23a", "1928b4310de0ae4d"),
+    ("MSL", 0): ("be14101b659f0511", "cfd0805250d95b84", "b35b6c73defce514"),
+    ("MSL", 1): ("f5ff8e29cbc57184", "0e7f39a8696051c0", "f0d17755b20ad0f7"),
+    ("GCP", 0): ("4bcd960effba8c5b", "45e5ca945a4a134d", "d19076f2bd44214e"),
+    ("GCP", 1): ("aabbdebcf3138e97", "9943db5fc1932bc8", "a5fdc804048cf319"),
+}
+
+
+class TestLegacyBitIdentity:
+    @pytest.mark.parametrize("name,seed", sorted(LEGACY_CHECKSUMS))
+    def test_checksums_frozen(self, name, seed):
+        dataset = load_dataset(name, seed=seed, scale=0.05)
+        assert _triple(dataset) == LEGACY_CHECKSUMS[(name, seed)]
+
+    def test_aliases_resolve_to_identical_arrays(self):
+        canonical = load_dataset("SWaT", seed=0, scale=0.05)
+        for alias in ("swat", "SWAT", "s-w-a-t"):
+            assert _triple(load_dataset(alias, seed=0, scale=0.05)) \
+                == _triple(canonical)
+
+    def test_repeated_calls_bit_identical(self):
+        first = load_dataset("DRIFT", seed=3, scale=0.05)
+        second = load_dataset("DRIFT", seed=3, scale=0.05)
+        np.testing.assert_array_equal(second.train, first.train)
+        np.testing.assert_array_equal(second.test, first.test)
+        np.testing.assert_array_equal(second.test_labels, first.test_labels)
+
+
+class TestCrossProcess:
+    def test_load_is_bit_identical_across_processes(self):
+        """The seed contract survives process boundaries (no PYTHONHASHSEED)."""
+        code = textwrap.dedent("""
+            import hashlib
+            import numpy as np
+            from repro.data import load_dataset
+
+            d = load_dataset("SMD", seed=0, scale=0.05)
+            for a in (d.train, d.test, d.test_labels):
+                print(hashlib.sha256(np.ascontiguousarray(a).tobytes())
+                      .hexdigest()[:16])
+        """)
+        env = dict(os.environ)
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "random"
+        output = subprocess.run([sys.executable, "-c", code], env=env,
+                                capture_output=True, text=True, check=True)
+        assert tuple(output.stdout.split()) == LEGACY_CHECKSUMS[("SMD", 0)]
+
+
+class TestRegistryConsistency:
+    def test_names_and_entries_agree(self):
+        names = DATASET_REGISTRY.names()
+        assert names == [entry.name for entry in DATASET_REGISTRY.entries()]
+        assert len(names) == len(set(names))
+
+    def test_list_datasets_is_the_registry_view(self):
+        assert list_datasets() == DATASET_REGISTRY.names()
+        assert list_datasets(tag="paper") == ["SMD", "PSM", "SWaT", "SMAP",
+                                              "MSL", "GCP"]
+        assert list_datasets(tag="regime") == ["DRIFT", "REGIME", "SEASONAL"]
+
+    def test_metadata_matches_generated_shapes(self):
+        for entry in DATASET_REGISTRY.entries(tag="synthetic"):
+            dataset = load_dataset(entry.name, seed=0, scale=0.05)
+            assert dataset.num_features == entry.num_features
+            assert dataset.train.shape[0] == max(int(entry.train_length * 0.05), 200)
+            assert dataset.name == entry.name
+            assert entry.citation
+
+    def test_contains_and_unknown_name(self):
+        assert "SMD" in DATASET_REGISTRY
+        assert "smap" in DATASET_REGISTRY
+        assert "NOPE" not in DATASET_REGISTRY
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("NOPE")
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("SMD", scale=0.0)
+
+    def test_dataset_rng_is_name_and_seed_keyed(self):
+        a = dataset_rng("SMD", 0).standard_normal(4)
+        b = dataset_rng("SMD", 0).standard_normal(4)
+        c = dataset_rng("SMD", 1).standard_normal(4)
+        d = dataset_rng("PSM", 0).standard_normal(4)
+        np.testing.assert_array_equal(b, a)
+        assert not np.array_equal(c, a)
+        assert not np.array_equal(d, a)
+
+
+class TestRegistration:
+    def test_decorator_registers_and_duplicates_fail(self):
+        registry = DatasetRegistry()
+
+        @register_dataset("TOY", num_features=2, train_length=200,
+                          test_length=200, anomaly_fraction=0.1,
+                          tags=("scratch",), aliases=("toy-set",),
+                          registry=registry)
+        def _load_toy(rng, scale):
+            length = max(int(200 * scale), 10)
+            data = rng.standard_normal((length, 2))
+            return MTSDataset(name="TOY", train=data, test=data.copy(),
+                              test_labels=np.zeros(length, dtype=np.int64),
+                              segments=[])
+
+        assert registry.names() == ["TOY"]
+        assert registry.get("toyset").name == "TOY"
+        dataset = registry.load("TOY", seed=0, scale=0.1)
+        assert dataset.train.shape == (20, 2)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(DatasetEntry(
+                name="toy-set", loader=_load_toy, num_features=2,
+                train_length=200, test_length=200, anomaly_fraction=0.1))
+
+    def test_unregister_frees_name_and_aliases(self):
+        registry = DatasetRegistry()
+        entry = DatasetEntry(name="TMP", loader=lambda rng, scale: None,
+                             num_features=1, train_length=10, test_length=10,
+                             anomaly_fraction=0.0, aliases=("tmpalias",))
+        registry.register(entry)
+        registry.unregister("tmpalias")
+        assert "TMP" not in registry
+        registry.register(entry)  # both keys free again
+        assert registry.get("TMP") is entry
+
+
+class TestDirectoryAdapters:
+    def _write_smd_tree(self, root):
+        rng = np.random.default_rng(7)
+        train = rng.standard_normal((40, 3))
+        test = rng.standard_normal((30, 3))
+        labels = np.zeros(30, dtype=np.int64)
+        labels[5:9] = 1
+        labels[20:23] = 1
+        for sub in ("train", "test", "test_label"):
+            (root / sub).mkdir(parents=True)
+        np.savetxt(root / "train" / "machine-1-1.txt", train, delimiter=",")
+        np.savetxt(root / "test" / "machine-1-1.txt", test, delimiter=",")
+        np.savetxt(root / "test_label" / "machine-1-1.txt", labels, fmt="%d")
+        return train, test, labels
+
+    def test_smd_tree_round_trip(self, tmp_path):
+        train, test, labels = self._write_smd_tree(tmp_path)
+        dataset = load_smd_tree(tmp_path, "machine-1-1")
+        np.testing.assert_allclose(dataset.train, train)
+        np.testing.assert_allclose(dataset.test, test)
+        np.testing.assert_array_equal(dataset.test_labels, labels)
+        assert [(s.start, s.end) for s in dataset.segments] == [(5, 9), (20, 23)]
+        assert dataset.name == "SMD:machine-1-1"
+
+    def test_smd_tree_rejects_label_length_mismatch(self, tmp_path):
+        self._write_smd_tree(tmp_path)
+        np.savetxt(tmp_path / "test_label" / "machine-1-1.txt",
+                   np.zeros(7, dtype=np.int64), fmt="%d")
+        with pytest.raises(ValueError, match="label length"):
+            load_smd_tree(tmp_path, "machine-1-1")
+
+    def _write_nasa_tree(self, root):
+        rng = np.random.default_rng(11)
+        train = rng.standard_normal((50, 2))
+        test = rng.standard_normal((40, 2))
+        for sub in ("train", "test"):
+            (root / sub).mkdir(parents=True)
+        np.save(root / "train" / "A-1.npy", train)
+        np.save(root / "test" / "A-1.npy", test)
+        with open(root / "labeled_anomalies.csv", "w", newline="") as handle:
+            handle.write("chan_id,spacecraft,anomaly_sequences\n")
+            handle.write('A-1,SMAP,"[[10, 14], [30, 32]]"\n')
+            handle.write('B-9,SMAP,"[[0, 5]]"\n')
+        return train, test
+
+    def test_nasa_tree_round_trip(self, tmp_path):
+        train, test = self._write_nasa_tree(tmp_path)
+        dataset = load_nasa_tree(tmp_path, "A-1")
+        np.testing.assert_allclose(dataset.train, train)
+        np.testing.assert_allclose(dataset.test, test)
+        expected = np.zeros(40, dtype=np.int64)
+        expected[10:15] = 1  # end-inclusive intervals
+        expected[30:33] = 1
+        np.testing.assert_array_equal(dataset.test_labels, expected)
+
+    def test_register_directory_probes_metadata(self, tmp_path):
+        self._write_smd_tree(tmp_path)
+        registry = DatasetRegistry()
+        entry = register_directory("SMD-1-1", tmp_path, "smd", "machine-1-1",
+                                   citation="Su et al., 2019",
+                                   registry=registry)
+        assert entry.num_features == 3
+        assert entry.train_length == 40
+        assert entry.test_length == 30
+        assert entry.anomaly_fraction == pytest.approx(7 / 30)
+        assert entry.tags == ("external",)
+        dataset = registry.load("smd11", seed=5, scale=2.0)
+        assert dataset.name == "SMD-1-1"
+        assert dataset.train.shape == (40, 3)  # file-backed: scale ignored
+
+    def test_register_directory_rejects_unknown_layout(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown layout"):
+            register_directory("X", tmp_path, "parquet", "e",
+                               registry=DatasetRegistry())

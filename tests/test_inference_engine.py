@@ -308,7 +308,7 @@ class TestSharedMemoryTransport:
         payload = spec.draw(batch, np.random.default_rng(1), TrainState())
         start, stop = _shard_bounds(batch.size, 2)[0]
         message = reducer._compose_step_message(
-            7, batch, payload, TrainState(), start, stop)
+            "loss", 7, batch, payload, TrainState(), start, stop)
         return len(pickle.dumps(message)), detector
 
     def test_gradient_step_bytes_independent_of_parameter_count(self):

@@ -1,0 +1,108 @@
+"""Universal baseline parallelism: the five newly spec-factored detectors.
+
+Every detector that gained a :class:`~repro.training.ParallelLossSpec` in the
+registry/parallelism refactor is held to the engine-wide contract:
+
+* ``_force_parallel_spec`` at ``num_workers=1`` (SpecReducer, no processes)
+  is **bit-identical** to the frozen serial closure — parameters, loss
+  curves and the random stream all match exactly,
+* ``num_workers=2`` (spawned gradient workers) agrees with the serial run up
+  to float summation order in the shard-gradient average,
+* for the GAN pair the *discriminator* weights must agree too: the
+  adversary-gradient reduction steps the parent's discriminator optimizer
+  between the two rounds of every batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BeatGANDetector,
+    GDNDetector,
+    InterFusionDetector,
+    MADGANDetector,
+    OmniAnomalyDetector,
+)
+
+
+def _series(length=140, num_channels=4, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.sin(np.arange(length) / 9.0)[:, None] * np.ones((1, num_channels))
+    return base + 0.1 * rng.standard_normal((length, num_channels))
+
+
+# Tiny-but-real configurations: two epochs so optimizer moments matter, and
+# enough windows that a batch actually splits across two workers.
+CASES = {
+    "OmniAnomaly": (OmniAnomalyDetector,
+                    dict(window_size=16, hidden_size=8, latent_dim=4, epochs=2,
+                         batch_size=8, max_train_windows=24, seed=0)),
+    "InterFusion": (InterFusionDetector,
+                    dict(window_size=16, metric_latent_dim=4,
+                         temporal_latent_dim=4, hidden_dim=8, epochs=2,
+                         batch_size=8, max_train_windows=24, seed=0)),
+    "MAD-GAN": (MADGANDetector,
+                dict(window_size=16, latent_dim=4, hidden_size=8, epochs=2,
+                     batch_size=8, max_train_windows=24, seed=0)),
+    "BeatGAN": (BeatGANDetector,
+                dict(window_size=16, latent_dim=4, hidden_dim=8, epochs=2,
+                     batch_size=8, max_train_windows=24, seed=0)),
+    "GDN": (GDNDetector,
+            dict(history=8, embedding_dim=8, top_k=2, hidden_dim=8, epochs=2,
+                 batch_size=8, max_train_samples=24, seed=0)),
+}
+
+
+def _fit(name, *, num_workers=1, force_spec=False):
+    cls, kwargs = CASES[name]
+    detector = cls(num_workers=num_workers, **kwargs)
+    if force_spec:
+        detector._force_parallel_spec = True
+    return detector.fit(_series())
+
+
+def _all_parameters(detector):
+    parameters = list(detector._trainer_parameters())
+    if getattr(type(detector), "_adversary_loss_method", None) is not None:
+        parameters += list(detector._adversary_parameters())
+    return parameters
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestSpecBitIdentity:
+    """Spec path at one worker vs the frozen serial closure: bitwise equal."""
+
+    def test_parameters_and_losses_bit_identical(self, name):
+        serial = _fit(name)
+        spec = _fit(name, force_spec=True)
+        for a, b in zip(_all_parameters(serial), _all_parameters(spec)):
+            np.testing.assert_array_equal(b.data, a.data)
+        assert spec.train_losses == serial.train_losses
+
+    def test_rng_stream_position_unchanged(self, name):
+        serial = _fit(name)
+        spec = _fit(name, force_spec=True)
+        assert (spec.rng.standard_normal(4).tolist()
+                == serial.rng.standard_normal(4).tolist())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestWorkerInvariance:
+    """Two spawned workers vs serial: equal up to gradient summation order."""
+
+    def test_two_workers_match_serial(self, name):
+        serial = _fit(name)
+        parallel = _fit(name, num_workers=2)
+        for a, b in zip(_all_parameters(serial), _all_parameters(parallel)):
+            np.testing.assert_allclose(b.data, a.data, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(parallel.train_losses, serial.train_losses,
+                                   rtol=1e-8, atol=1e-10)
+
+    def test_scores_match_serial(self, name):
+        series = _series(seed=3)
+        serial = _fit(name)
+        parallel = _fit(name, num_workers=2)
+        np.testing.assert_allclose(parallel.score(series), serial.score(series),
+                                   rtol=1e-6, atol=1e-8)

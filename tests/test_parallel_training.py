@@ -308,10 +308,27 @@ class TestBaselineParallelism:
         np.testing.assert_allclose(parallel.train_losses, serial.train_losses,
                                    rtol=1e-9, atol=1e-12)
 
-    def test_adversarial_baselines_reject_parallelism(self):
-        detector = MADGANDetector(window_size=16, epochs=1, num_workers=2, seed=0)
-        with pytest.raises(ValueError, match="num_workers"):
-            detector.fit(_series(length=120))
+    def test_unsupported_baseline_rejects_parallelism_with_its_reason(self):
+        from repro.baselines import IsolationForestDetector
+
+        detector = IsolationForestDetector(seed=0)
+        detector.num_workers = 2  # IForest takes no num_workers knob
+        assert not detector.supports_parallel
+        dummy = Tensor(np.zeros(2), requires_grad=True)
+        with pytest.raises(ValueError, match="no gradient"):
+            detector._run_trainer([dummy], lambda batch, state: None,
+                                  (np.zeros((4, 2)),),
+                                  epochs=1, batch_size=2, learning_rate=1e-3)
+
+    def test_every_detector_declares_parallel_support(self):
+        from repro.baselines import BASELINE_REGISTRY
+
+        for name, cls in BASELINE_REGISTRY.items():
+            if name == "IForest":
+                assert not cls.supports_parallel
+                continue
+            assert cls.supports_parallel, name
+            assert cls._parallel_loss_method is not None, name
 
     def test_all_nine_constructors_take_the_knobs(self):
         from repro.baselines import BASELINE_REGISTRY

@@ -377,20 +377,21 @@ class TestEvaluationRunnerKnob:
         assert seen[0].config.num_inference_steps == 2
 
     def test_overrides_skip_baselines(self):
-        from repro.evaluation.runner import _apply_engine_overrides
+        from repro.evaluation import apply_detector_overrides
 
         class Plain:
             pass
 
         detector = Plain()
-        assert _apply_engine_overrides(detector, "strided", 4) is detector
+        assert apply_detector_overrides(detector, sampler="strided",
+                                        num_inference_steps=4) is detector
 
     def test_full_override_clears_implied_step_count(self):
-        from repro.evaluation.runner import _apply_engine_overrides
+        from repro.evaluation import apply_detector_overrides
 
         detector = ImDiffusionDetector(ImDiffusionConfig(
             num_steps=8, sampler="strided", num_inference_steps=3))
-        _apply_engine_overrides(detector, "full", None)
+        apply_detector_overrides(detector, sampler="full")
         assert detector.config.sampler == "full"
         assert detector.config.num_inference_steps is None
         assert detector.config.inference_steps == 8
