@@ -1,0 +1,122 @@
+"""Drift-adaptation benchmark: the closed detect→fine-tune→hot-swap loop.
+
+Two legs over the pinned DRIFT scenario (see ``repro.adaptation.scenario``):
+
+* **adaptation lift** — serve the drifting stream twice from the same
+  checkpoint, frozen vs adapted, and require the adapted pass to match or
+  beat the frozen F1 on the post-drift tail while publishing a v2 to the
+  model registry and hot-swapping without restarting anything.
+* **rollback bit-identity** — force every candidate to regress
+  (``regression_tolerance=-1``) and require the rolled-back stream to be
+  bitwise identical to a stream that never adapted.  The grep-able line
+  ``rollback bit-identity ... OK`` is what CI asserts on.
+
+Every run appends its numbers to ``BENCH_adaptation.json`` (path
+overridable via ``REPRO_BENCH_ADAPT_OUTPUT``).  Knobs:
+``REPRO_BENCH_ADAPT_SCALE`` (dataset length multiplier, default 0.1),
+``REPRO_BENCH_ADAPT_SEED`` (default 1) and
+``REPRO_BENCH_ADAPT_WORKERS`` (score workers for the rollback leg,
+default 1 = in-process).
+"""
+
+import json
+import os
+
+from repro.adaptation import AdaptationConfig, run_drift_scenario
+from repro.serving import ModelRegistry
+
+from ._helpers import print_header, run_once
+
+SCALE = float(os.environ.get("REPRO_BENCH_ADAPT_SCALE", "0.1"))
+SEED = int(os.environ.get("REPRO_BENCH_ADAPT_SEED", "1"))
+WORKERS = int(os.environ.get("REPRO_BENCH_ADAPT_WORKERS", "1"))
+OUTPUT = os.environ.get("REPRO_BENCH_ADAPT_OUTPUT", "BENCH_adaptation.json")
+
+#: The pinned scenario configuration — matches the `repro adapt` defaults.
+SCENARIO = dict(dataset="DRIFT", scale=SCALE, seed=SEED, train_fraction=0.25)
+
+
+def _adaptation(**overrides) -> AdaptationConfig:
+    params = dict(policy="default", min_adapt_windows=4, adapt_epochs=2,
+                  cooldown_points=96, reference_points=128)
+    params.update(overrides)
+    return AdaptationConfig(**params)
+
+
+def _record(payload: dict) -> None:
+    """Append this run's numbers to the JSON artifact tracked by CI."""
+    history = []
+    if os.path.exists(OUTPUT):
+        try:
+            with open(OUTPUT) as handle:
+                history = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(payload)
+    with open(OUTPUT, "w") as handle:
+        json.dump(history, handle, indent=2)
+
+
+def test_adaptation_beats_frozen_on_post_drift_tail(benchmark, tmp_path):
+    """The adapted pass detects drift, publishes v2 and lifts tail F1."""
+    registry = ModelRegistry(tmp_path / "registry")
+    result = run_once(benchmark, lambda: run_drift_scenario(
+        adaptation=_adaptation(), registry=registry, **SCENARIO))
+
+    print_header(f"Drift adaptation lift (DRIFT, scale={SCALE}, seed={SEED})")
+    for line in result.summary_lines():
+        print(line)
+
+    assert any(e.kind == "drift" for e in result.events)
+    adapted_rounds = [r for r in result.records if r.action == "adapted"]
+    assert adapted_rounds, "no adaptation round was applied"
+    assert result.adapted["f1"] >= result.frozen["f1"]
+    assert result.metrics["hot_swaps"] >= len(adapted_rounds)
+    assert result.metrics["models_published"] >= len(adapted_rounds) + 1
+    # v1 is the frozen baseline; each non-skipped round published the next.
+    versions = registry.versions("drift-demo")
+    assert versions[0] == 1 and len(versions) >= 2
+
+    _record({
+        "benchmark": "adaptation_lift",
+        "scale": SCALE,
+        "seed": SEED,
+        "frozen_f1": result.frozen["f1"],
+        "adapted_f1": result.adapted["f1"],
+        "drift_events": sum(e.kind == "drift" for e in result.events),
+        "adaptations": len(adapted_rounds),
+        "hot_swaps": result.metrics["hot_swaps"],
+        "published_versions": versions,
+    })
+
+
+def test_forced_rollback_is_bit_identical(benchmark):
+    """Rolling back a regressing candidate leaves no trace in the scores."""
+    result = run_once(benchmark, lambda: run_drift_scenario(
+        adaptation=_adaptation(regression_tolerance=-1.0),
+        score_workers=WORKERS, **SCENARIO))
+
+    print_header(f"Forced rollback (DRIFT, scale={SCALE}, seed={SEED}, "
+                 f"workers={WORKERS})")
+    for line in result.summary_lines():
+        print(line)
+    verdict = "OK" if result.bit_identical else "FAILED"
+    # CI greps for this exact line.
+    print(f"rollback bit-identity (rolled-back stream == frozen stream): "
+          f"{verdict}")
+
+    attempts = [r for r in result.records if r.action != "skipped"]
+    assert attempts and all(r.action == "rolled_back" for r in attempts)
+    assert result.bit_identical
+    assert result.metrics["rollbacks"] == len(attempts)
+
+    _record({
+        "benchmark": "adaptation_rollback_bit_identity",
+        "scale": SCALE,
+        "seed": SEED,
+        "score_workers": WORKERS,
+        "rollbacks": len(attempts),
+        "bit_identical": result.bit_identical,
+    })

@@ -9,12 +9,21 @@ multivariate time-series anomaly detection.  This package provides:
 * :mod:`repro.nn` — a NumPy autograd/neural-network substrate (no PyTorch),
 * :mod:`repro.training` — the shared training engine (Trainer, callbacks,
   vectorized window loading) used by the detector and all baselines,
-* :mod:`repro.data` — synthetic analogues of the six benchmark datasets and a
-  production telemetry simulator,
+* :mod:`repro.data` — synthetic analogues of the six benchmark datasets, the
+  dataset registry and a production telemetry simulator,
 * :mod:`repro.baselines` — the ten baseline detectors of the paper,
 * :mod:`repro.evaluation` — point-adjusted P/R/F1, R-AUC-PR, ADD and the
   multi-run experiment harness,
+* :mod:`repro.serving` — the multi-tenant streaming service, model registry
+  and sharded inference,
+* :mod:`repro.analytics` — windowed score analytics and declarative alerting,
+* :mod:`repro.adaptation` — streaming drift detection and the online
+  fine-tune → publish → hot-swap loop,
 * :mod:`repro.production` — the online / streaming deployment harness.
+
+The names re-exported here are the supported public API: each one carries
+an example-bearing docstring (enforced by a tier-1 test) and is documented
+in ``docs/architecture.md``.
 
 Quick start::
 
@@ -28,8 +37,67 @@ Quick start::
     print(evaluate_labels(result.labels, result.scores, dataset.test_labels))
 """
 
+from .adaptation import (
+    AdaptationConfig,
+    AdaptationController,
+    DriftMonitor,
+    DriftReference,
+    parse_drift_policy,
+    run_drift_scenario,
+    training_tail_reference,
+)
+from .analytics import AnalyticsEngine, export_jsonl, load_jsonl, parse_policy
 from .core import DetectionResult, ImDiffusionConfig, ImDiffusionDetector
+from .data import DatasetRegistry, MTSDataset, list_datasets, load_dataset
+from .diffusion.samplers import make_sampler, register_sampler, sampler_names
+from .evaluation import RunMetrics, evaluate_labels
+from .serving import (
+    DetectorService,
+    ModelRegistry,
+    ServiceMetrics,
+    ServingConfig,
+)
+from .training import Trainer, TrainResult
 
 __version__ = "1.0.0"
 
-__all__ = ["DetectionResult", "ImDiffusionConfig", "ImDiffusionDetector", "__version__"]
+__all__ = [
+    # core
+    "DetectionResult",
+    "ImDiffusionConfig",
+    "ImDiffusionDetector",
+    # data
+    "DatasetRegistry",
+    "MTSDataset",
+    "list_datasets",
+    "load_dataset",
+    # training
+    "Trainer",
+    "TrainResult",
+    # evaluation
+    "RunMetrics",
+    "evaluate_labels",
+    # diffusion samplers
+    "make_sampler",
+    "register_sampler",
+    "sampler_names",
+    # serving
+    "DetectorService",
+    "ModelRegistry",
+    "ServiceMetrics",
+    "ServingConfig",
+    # analytics
+    "AnalyticsEngine",
+    "parse_policy",
+    "export_jsonl",
+    "load_jsonl",
+    # adaptation
+    "AdaptationConfig",
+    "AdaptationController",
+    "DriftMonitor",
+    "DriftReference",
+    "parse_drift_policy",
+    "run_drift_scenario",
+    "training_tail_reference",
+    "__version__",
+]

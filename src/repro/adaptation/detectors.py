@@ -1,0 +1,463 @@
+"""Streaming drift detectors over served score streams.
+
+A fitted detector is only as good as the distribution it was trained on.
+These rules watch each tenant's *served* anomaly scores and compare them
+against a :class:`DriftReference` — statistics frozen from the model's
+training tail — to decide when the world has moved:
+
+``quantile_shift(q=90, window=64, ratio=1.4)``
+    the rolling ``q``-th score percentile exceeds ``ratio`` × the frozen
+    reference percentile (the serving analogue of the score-quantile shift
+    monitors of production anomaly platforms),
+``error_shift(window=64, ratio=1.5)``
+    the rolling mean imputation error exceeds ``ratio`` × the frozen mean
+    (scores *are* final-step imputation errors, so this is the
+    imputation-error shift detector),
+``psi(window=128, threshold=0.25)``
+    the Population Stability Index between the rolling window's score
+    histogram and the reference histogram (reference-quantile bins,
+    Laplace-smoothed) exceeds ``threshold``,
+``ks(window=128, threshold=0.35)``
+    the Kolmogorov–Smirnov statistic between the rolling window's empirical
+    CDF and the reference sample's CDF exceeds ``threshold``.
+
+Every rule implements the :class:`repro.analytics.AlertRule` interface, so
+drift expressions parse through the same grammar as alert policies
+(``and``/``or``/parentheses, via :func:`parse_drift_policy`) and evaluate
+through the same edge-triggered :class:`~repro.analytics.PolicyMonitor`
+machinery — a :class:`DriftMonitor` emits one :class:`DriftEvent` with
+``kind="drift"`` when the expression turns true and one with
+``kind="recovered"`` when it turns false again.
+
+The rules are *incremental* — O(window) work per appended score over a
+bounded buffer — and each one also has the naive full-recompute
+:meth:`~repro.analytics.AlertRule.reference` evaluation.  Both paths funnel
+every window through the same ``_statistic`` kernel on the same float64
+values, so they agree **bitwise** (the property tests assert
+``np.array_equal`` on random streams), mirroring the
+incremental-vs-recompute contract of the analytics operator library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analytics.policy import (
+    AlertPolicy,
+    AlertRule,
+    PolicyMonitor,
+    _Combinator,
+    parse_policy,
+)
+
+__all__ = [
+    "DriftReference",
+    "DriftEvent",
+    "DriftRule",
+    "QuantileShiftRule",
+    "ErrorShiftRule",
+    "PSIRule",
+    "KSRule",
+    "DriftMonitor",
+    "DRIFT_POLICY_PRESETS",
+    "parse_drift_policy",
+    "drift_statistics",
+]
+
+#: Laplace smoothing mass per histogram bin (keeps PSI finite on empty bins).
+_PSI_ALPHA = 0.5
+
+#: Named drift-policy presets accepted anywhere a drift expression is
+#: (``repro serve --adapt default``, ``AdaptationConfig.policy``).
+DRIFT_POLICY_PRESETS = {
+    "default": ("quantile_shift(q=90, window=64, ratio=1.4) "
+                "or error_shift(window=64, ratio=1.8)"),
+    "sensitive": ("quantile_shift(q=75, window=32, ratio=1.2) "
+                  "or error_shift(window=32, ratio=1.3) "
+                  "or ks(window=64, threshold=0.3)"),
+    "conservative": ("error_shift(window=128, ratio=2.0) "
+                     "and psi(window=128, threshold=0.25)"),
+}
+
+
+class DriftReference:
+    """Frozen score statistics of the model's training tail.
+
+    Built once when a model is trained (or published) from the scores the
+    model produces on the *end* of its own training series — the most recent
+    data known to be in-distribution — and then compared against the live
+    serving scores by the drift rules.  Everything is precomputed and
+    immutable, so one reference can back any number of per-tenant monitors.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> reference = DriftReference.from_scores(np.linspace(0.0, 1.0, 101))
+    >>> round(reference.mean, 2)
+    0.5
+    >>> round(reference.quantile(90.0), 2)
+    0.9
+    """
+
+    def __init__(self, sample: np.ndarray, bins: int = 10) -> None:
+        sample = np.asarray(sample, dtype=np.float64).ravel()
+        if sample.size < 2:
+            raise ValueError("a drift reference needs at least 2 scores")
+        if not np.all(np.isfinite(sample)):
+            raise ValueError("reference scores must be finite")
+        if bins < 2:
+            raise ValueError("bins must be at least 2")
+        self.sample = np.sort(sample)
+        self.size = int(self.sample.size)
+        self.mean = float(np.mean(self.sample))
+        # Histogram bins at the reference quantiles (equal reference mass per
+        # bin); duplicate edges from constant stretches are collapsed so the
+        # bin index function stays well defined.
+        inner = np.quantile(self.sample, np.linspace(0.0, 1.0, bins + 1)[1:-1])
+        self.bin_edges = np.unique(inner)
+        counts = np.bincount(self._bin_of(self.sample),
+                             minlength=self.num_bins).astype(np.float64)
+        self.bin_fractions = self._smooth(counts)
+
+    @classmethod
+    def from_scores(cls, scores: Sequence[float], bins: int = 10) -> "DriftReference":
+        """Freeze a reference from a 1-D array of training-tail scores."""
+        return cls(np.asarray(scores, dtype=np.float64), bins=bins)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_bins(self) -> int:
+        """Number of PSI histogram bins including the two open-ended tails."""
+        return self.bin_edges.size + 1
+
+    def _bin_of(self, values: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self.bin_edges, values, side="right")
+
+    def _smooth(self, counts: np.ndarray) -> np.ndarray:
+        total = counts.sum()
+        return ((counts + _PSI_ALPHA)
+                / (total + _PSI_ALPHA * self.num_bins))
+
+    def quantile(self, q: float) -> float:
+        """The frozen ``q``-th percentile (0–100) of the reference scores."""
+        return float(np.quantile(self.sample, q / 100.0))
+
+    # -- statistics against a window ------------------------------------
+    def psi(self, window: np.ndarray) -> float:
+        """Population Stability Index of ``window`` vs the reference."""
+        counts = np.bincount(self._bin_of(window),
+                             minlength=self.num_bins).astype(np.float64)
+        observed = self._smooth(counts)
+        return float(np.sum((observed - self.bin_fractions)
+                            * np.log(observed / self.bin_fractions)))
+
+    def ks(self, window: np.ndarray) -> float:
+        """Two-sample Kolmogorov–Smirnov statistic of ``window`` vs the reference."""
+        ordered = np.sort(window)
+        n = ordered.size
+        ref_cdf = np.searchsorted(self.sample, ordered, side="right") / self.size
+        upper = np.arange(1, n + 1, dtype=np.float64) / n
+        lower = np.arange(0, n, dtype=np.float64) / n
+        return float(max(np.max(np.abs(ref_cdf - upper)),
+                         np.max(np.abs(ref_cdf - lower))))
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the frozen reference."""
+        return (f"reference(n={self.size}, mean={self.mean:.4f}, "
+                f"bins={self.num_bins})")
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One drift edge on one tenant's served score stream.
+
+    Emitted by :class:`DriftMonitor` when the drift expression flips:
+    ``kind="drift"`` on the rising edge, ``kind="recovered"`` on the falling
+    edge.  ``statistics`` snapshots each leaf rule's latest windowed
+    statistic at the edge (NaN while a rule is still warming up).
+    """
+
+    tenant: str
+    index: int                 # absolute stream index of the edge
+    policy: str                # the drift policy's name
+    kind: str                  # "drift" | "recovered"
+    score: float               # the served score that caused the edge
+    statistics: Dict[str, float] = field(default_factory=dict)
+    detail: str = ""           # the policy's source expression
+
+    def describe(self) -> str:
+        stats = ", ".join(f"{name}={value:.4f}"
+                          for name, value in sorted(self.statistics.items()))
+        return (f"[{self.tenant}] {self.kind} {self.policy!r} at t={self.index}"
+                + (f" ({stats})" if stats else ""))
+
+
+class DriftRule(AlertRule):
+    """Base of the windowed drift rules: a bounded buffer + a statistic.
+
+    Subclasses define ``_statistic(window)`` (a pure function of the last
+    ``window`` scores as a float64 array) and ``_exceeds(statistic)``.  Both
+    the incremental :meth:`update` path and the full-recompute
+    :meth:`reference` path call that same kernel on the same values, which
+    is what makes them agree bitwise.  The rule is inactive until the buffer
+    holds a full window (warm-up), and :attr:`last_statistic` exposes the
+    most recent statistic for event reporting.
+    """
+
+    def __init__(self, drift_reference: DriftReference, window: int) -> None:
+        if window < 2:
+            raise ValueError("drift rule window must be at least 2")
+        self.drift_reference = drift_reference
+        self.window = int(window)
+        self._buffer: List[float] = []
+        self.last_statistic = float("nan")
+
+    # -- subclass surface ------------------------------------------------
+    def _statistic(self, values: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _exceeds(self, statistic: float) -> bool:
+        raise NotImplementedError
+
+    # -- AlertRule interface ---------------------------------------------
+    def update(self, index: int, score: float) -> bool:
+        self._buffer.append(float(score))
+        if len(self._buffer) > self.window:
+            del self._buffer[0]
+        if len(self._buffer) < self.window:
+            self.last_statistic = float("nan")
+            return False
+        self.last_statistic = self._statistic(
+            np.asarray(self._buffer, dtype=np.float64))
+        return self._exceeds(self.last_statistic)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self.last_statistic = float("nan")
+
+    def reference(self, scores: Sequence[float]) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        out = np.zeros(scores.shape[0], dtype=bool)
+        for t in range(self.window - 1, scores.shape[0]):
+            stat = self._statistic(scores[t + 1 - self.window:t + 1])
+            out[t] = self._exceeds(stat)
+        return out
+
+
+class QuantileShiftRule(DriftRule):
+    """Rolling score percentile vs the frozen training-tail percentile."""
+
+    def __init__(self, drift_reference: DriftReference, q: float = 90.0,
+                 window: int = 64, ratio: float = 1.4) -> None:
+        super().__init__(drift_reference, window)
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if ratio <= 0.0:
+            raise ValueError("ratio must be positive")
+        self.q = float(q)
+        self.ratio = float(ratio)
+        self._reference_value = drift_reference.quantile(self.q)
+
+    def _statistic(self, values: np.ndarray) -> float:
+        return float(np.quantile(values, self.q / 100.0))
+
+    def _exceeds(self, statistic: float) -> bool:
+        return bool(statistic > self.ratio * self._reference_value)
+
+    def clone(self) -> "QuantileShiftRule":
+        return QuantileShiftRule(self.drift_reference, q=self.q,
+                                 window=self.window, ratio=self.ratio)
+
+    def describe(self) -> str:
+        return (f"quantile_shift(q={self.q:g}, window={self.window}, "
+                f"ratio={self.ratio:g})")
+
+
+class ErrorShiftRule(DriftRule):
+    """Rolling mean imputation error vs the frozen training-tail mean."""
+
+    def __init__(self, drift_reference: DriftReference, window: int = 64,
+                 ratio: float = 1.5) -> None:
+        super().__init__(drift_reference, window)
+        if ratio <= 0.0:
+            raise ValueError("ratio must be positive")
+        self.ratio = float(ratio)
+        self._reference_value = drift_reference.mean
+
+    def _statistic(self, values: np.ndarray) -> float:
+        return float(np.mean(values))
+
+    def _exceeds(self, statistic: float) -> bool:
+        return bool(statistic > self.ratio * self._reference_value)
+
+    def clone(self) -> "ErrorShiftRule":
+        return ErrorShiftRule(self.drift_reference, window=self.window,
+                              ratio=self.ratio)
+
+    def describe(self) -> str:
+        return f"error_shift(window={self.window}, ratio={self.ratio:g})"
+
+
+class PSIRule(DriftRule):
+    """Population Stability Index of the rolling window vs the reference."""
+
+    def __init__(self, drift_reference: DriftReference, window: int = 128,
+                 threshold: float = 0.25) -> None:
+        super().__init__(drift_reference, window)
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+
+    def _statistic(self, values: np.ndarray) -> float:
+        return self.drift_reference.psi(values)
+
+    def _exceeds(self, statistic: float) -> bool:
+        return bool(statistic > self.threshold)
+
+    def clone(self) -> "PSIRule":
+        return PSIRule(self.drift_reference, window=self.window,
+                       threshold=self.threshold)
+
+    def describe(self) -> str:
+        return f"psi(window={self.window}, threshold={self.threshold:g})"
+
+
+class KSRule(DriftRule):
+    """Kolmogorov–Smirnov statistic of the rolling window vs the reference."""
+
+    def __init__(self, drift_reference: DriftReference, window: int = 128,
+                 threshold: float = 0.35) -> None:
+        super().__init__(drift_reference, window)
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = float(threshold)
+
+    def _statistic(self, values: np.ndarray) -> float:
+        return self.drift_reference.ks(values)
+
+    def _exceeds(self, statistic: float) -> bool:
+        return bool(statistic > self.threshold)
+
+    def clone(self) -> "KSRule":
+        return KSRule(self.drift_reference, window=self.window,
+                      threshold=self.threshold)
+
+    def describe(self) -> str:
+        return f"ks(window={self.window}, threshold={self.threshold:g})"
+
+
+# ----------------------------------------------------------------------
+# Parsing and monitoring
+# ----------------------------------------------------------------------
+
+def _drift_rule_functions(reference: DriftReference) -> dict:
+    """The drift atoms, closed over one reference, for the policy grammar."""
+    return {
+        "quantile_shift": (
+            lambda kw: QuantileShiftRule(
+                reference, q=kw.get("q", 90.0),
+                window=int(kw.get("window", 64)),
+                ratio=kw.get("ratio", 1.4)),
+            {"q": False, "window": False, "ratio": False},
+        ),
+        "error_shift": (
+            lambda kw: ErrorShiftRule(
+                reference, window=int(kw.get("window", 64)),
+                ratio=kw.get("ratio", 1.5)),
+            {"window": False, "ratio": False},
+        ),
+        "psi": (
+            lambda kw: PSIRule(
+                reference, window=int(kw.get("window", 128)),
+                threshold=kw.get("threshold", 0.25)),
+            {"window": False, "threshold": False},
+        ),
+        "ks": (
+            lambda kw: KSRule(
+                reference, window=int(kw.get("window", 128)),
+                threshold=kw.get("threshold", 0.35)),
+            {"window": False, "threshold": False},
+        ),
+    }
+
+
+def parse_drift_policy(text: str, reference: DriftReference,
+                       name: str = "drift") -> AlertPolicy:
+    """Parse a drift expression against one frozen reference.
+
+    ``text`` is either a preset name (see :data:`DRIFT_POLICY_PRESETS`) or a
+    policy expression over the drift atoms (``quantile_shift``,
+    ``error_shift``, ``psi``, ``ks``), composable with ``and``/``or``/
+    parentheses and the plain ``score <cmp> x`` atom — the exact grammar of
+    :func:`repro.analytics.parse_policy`, reusing its parser with the drift
+    rule table.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> reference = DriftReference.from_scores(np.linspace(0.0, 1.0, 101))
+    >>> policy = parse_drift_policy("error_shift(window=4, ratio=2)", reference)
+    >>> policy.source
+    'error_shift(window=4, ratio=2)'
+    """
+    text = DRIFT_POLICY_PRESETS.get(text.strip(), text)
+    return parse_policy(text, name=name,
+                        functions=_drift_rule_functions(reference))
+
+
+def drift_statistics(rule: AlertRule) -> Dict[str, float]:
+    """Latest windowed statistic of every drift leaf under ``rule``."""
+    if isinstance(rule, DriftRule):
+        return {rule.describe(): rule.last_statistic}
+    statistics: Dict[str, float] = {}
+    if isinstance(rule, _Combinator):
+        for child in rule.children:
+            statistics.update(drift_statistics(child))
+    return statistics
+
+
+class DriftMonitor:
+    """Edge-triggered drift evaluation of one policy on one tenant.
+
+    A thin wrapper over :class:`repro.analytics.PolicyMonitor` that converts
+    alert edges into :class:`DriftEvent`s carrying the leaf statistics at
+    the moment of the edge.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> reference = DriftReference.from_scores(np.linspace(0.0, 1.0, 101))
+    >>> policy = parse_drift_policy("error_shift(window=2, ratio=2)", reference)
+    >>> monitor = DriftMonitor(policy, "tenant-0")
+    >>> [e.kind for score in (5.0, 5.0) for e in monitor.update(0, score)]
+    ['drift']
+    """
+
+    def __init__(self, policy: AlertPolicy, tenant: str) -> None:
+        self.policy = policy
+        self.tenant = tenant
+        self._monitor: PolicyMonitor = policy.monitor(tenant)
+
+    @property
+    def active(self) -> bool:
+        """Whether the drift expression is currently true."""
+        return self._monitor.active
+
+    def update(self, index: int, score: float) -> List[DriftEvent]:
+        """Consume one served score; returns the drift edge, if any."""
+        return [
+            DriftEvent(
+                tenant=event.tenant, index=event.index, policy=event.policy,
+                kind="drift" if event.kind == "fired" else "recovered",
+                score=event.score,
+                statistics=drift_statistics(self._monitor.root),
+                detail=event.detail)
+            for event in self._monitor.update(index, score)
+        ]
+
+    def reset(self) -> None:
+        """Clear all rule state and re-arm (used after a model hot-swap)."""
+        self._monitor.reset()

@@ -35,7 +35,8 @@ Quickstart::
 
 from .engine import AnalyticsEngine
 from .episodes import Episode, EpisodeTracker, sessionize
-from .io import export_jsonl, load_jsonl, streams_to_store
+from .io import (SCHEMA_NAME, SCHEMA_VERSION, export_jsonl,
+                 load_jsonl, streams_to_store)
 from .operators import (
     EWMA,
     OPERATOR_REGISTRY,
@@ -93,6 +94,8 @@ __all__ = [
     "StreamOperator",
     "ThresholdRule",
     "apply_pipeline",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
     "export_jsonl",
     "load_jsonl",
     "parse_operator",

@@ -77,6 +77,7 @@ class AnalyticsEngine:
                                    min_length=self.episode_min_length))
 
     def tenants(self) -> List[str]:
+        """Registered tenant names, sorted."""
         return self.store.tenants()
 
     # ------------------------------------------------------------------
@@ -129,6 +130,7 @@ class AnalyticsEngine:
     # Queries
     # ------------------------------------------------------------------
     def watermark(self, tenant: str) -> int:
+        """Absolute index up to which this tenant's scores were observed."""
         return self.store.watermark(tenant)
 
     def episodes(self, tenant: str, include_open: bool = True) -> List[Episode]:
@@ -143,6 +145,7 @@ class AnalyticsEngine:
                 if monitor.active]
 
     def view(self, tenant: str) -> ScoreStream:
+        """The tenant's full retained score stream (see :meth:`ScoreStore.view`)."""
         return self.store.view(tenant)
 
     def query(self, tenant: str,

@@ -1,16 +1,24 @@
-"""JSONL capture and replay of score streams.
+"""JSONL capture and replay of score streams (the ``repro.scores`` schema).
 
-One JSON object per line, one line per scored point::
+This is schema ``repro.scores`` version 1, documented normatively in
+``docs/architecture.md``.  A capture is an optional header line followed by
+one JSON object per scored point::
 
+    {"schema": "repro.scores", "version": 1}
     {"tenant": "tenant-0", "index": 17, "score": 0.4031, "label": 0}
 
-``label`` is omitted for points whose label was never decided.  The format
-is append-friendly (a serving process can stream it out line by line) and
-order-tolerant on load (rows are re-sorted per tenant), but each tenant's
-index sequence must be contiguous once sorted — the streams round-trip
-through the bounded :class:`~repro.analytics.store.ScoreStore` watermark
-contract.  ``repro serve --export-scores`` writes this format and
-``repro query --from`` reads it back (round-trip tested).
+Data rows carry exactly the fields ``tenant`` (str), ``index`` (int),
+``score`` (float) and optionally ``label`` (0/1, omitted for points whose
+label was never decided).  :func:`export_jsonl` writes the header;
+:func:`load_jsonl` accepts captures with or without it (files predating the
+header are version-1 data rows only) and rejects unknown schema names or
+newer versions.  The format is append-friendly (a serving process can
+stream it out line by line) and order-tolerant on load (rows are re-sorted
+per tenant), but each tenant's index sequence must be contiguous once
+sorted — the streams round-trip through the bounded
+:class:`~repro.analytics.store.ScoreStore` watermark contract.
+``repro serve --export-scores`` writes this format and ``repro query
+--from`` reads it back (round-trip tested).
 """
 
 from __future__ import annotations
@@ -23,20 +31,29 @@ import numpy as np
 
 from .store import ScoreStore, ScoreStream
 
-__all__ = ["export_jsonl", "load_jsonl", "streams_to_store"]
+__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "export_jsonl", "load_jsonl",
+           "streams_to_store"]
+
+#: Schema identity of a JSONL score capture (the optional header line).
+SCHEMA_NAME = "repro.scores"
+SCHEMA_VERSION = 1
 
 
 def export_jsonl(path: Union[str, "os.PathLike[str]"],
                  streams: Union[ScoreStore, Dict[str, ScoreStream]]) -> int:
-    """Write every retained point of every tenant; returns the line count.
+    """Write every retained point of every tenant; returns the data-row count.
 
     Accepts either a :class:`ScoreStore` (exports each tenant's retained
     view) or an already-materialised ``{tenant: ScoreStream}`` mapping.
+    The file starts with the ``repro.scores`` v1 schema header line, which
+    is not counted in the returned row count.
     """
     if isinstance(streams, ScoreStore):
         streams = {tenant: streams.view(tenant) for tenant in streams.tenants()}
     lines = 0
     with open(path, "w") as handle:
+        handle.write(json.dumps({"schema": SCHEMA_NAME,
+                                 "version": SCHEMA_VERSION}) + "\n")
         for tenant in sorted(streams):
             stream = streams[tenant]
             for offset in range(stream.scores.shape[0]):
@@ -52,7 +69,12 @@ def export_jsonl(path: Union[str, "os.PathLike[str]"],
 
 
 def load_jsonl(path: Union[str, "os.PathLike[str]"]) -> Dict[str, ScoreStream]:
-    """Read a score-stream capture back into ``{tenant: ScoreStream}``."""
+    """Read a score-stream capture back into ``{tenant: ScoreStream}``.
+
+    Accepts captures with or without the schema header line and raises
+    ``ValueError`` on an unknown schema name or an unsupported (newer)
+    version.
+    """
     rows: Dict[str, List[dict]] = {}
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -61,6 +83,15 @@ def load_jsonl(path: Union[str, "os.PathLike[str]"]) -> Dict[str, ScoreStream]:
                 continue
             try:
                 row = json.loads(line)
+                if "schema" in row and "tenant" not in row:
+                    if row["schema"] != SCHEMA_NAME:
+                        raise ValueError(f"unknown schema {row['schema']!r} "
+                                         f"(expected {SCHEMA_NAME!r})")
+                    if int(row.get("version", 1)) > SCHEMA_VERSION:
+                        raise ValueError(
+                            f"schema version {row['version']} is newer than "
+                            f"the supported version {SCHEMA_VERSION}")
+                    continue
                 tenant, index = row["tenant"], int(row["index"])
                 score = float(row["score"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:

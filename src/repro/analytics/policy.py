@@ -383,6 +383,16 @@ class PolicyMonitor:
     def active(self) -> bool:
         return self._active
 
+    @property
+    def root(self) -> AlertRule:
+        """This monitor's private rule-state tree (a clone of the policy's)."""
+        return self._root
+
+    def reset(self) -> None:
+        """Clear all rule state and re-arm the monitor (no edge is emitted)."""
+        self._root.reset()
+        self._active = False
+
     def update(self, index: int, score: float) -> List[AlertEvent]:
         """Consume one score; returns the fired/resolved edge, if any."""
         state = self._root.update(index, float(score))
@@ -439,10 +449,14 @@ _RULE_FUNCTIONS = {
 
 
 class _PolicyParser:
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, functions: Optional[dict] = None) -> None:
         self.text = text
         self.tokens = self._tokenize(text)
         self.position = 0
+        # Rule-function table: the alerting atoms by default; other layers
+        # (e.g. the drift detectors of repro.adaptation) reuse the grammar
+        # with their own atoms by passing a table of the same shape.
+        self.functions = _RULE_FUNCTIONS if functions is None else functions
 
     @staticmethod
     def _tokenize(text: str) -> List[tuple]:
@@ -520,11 +534,11 @@ class _PolicyParser:
             comparator = self._expect("cmp")
             threshold = float(self._expect("number"))
             return ThresholdRule(threshold, comparator)
-        if name not in _RULE_FUNCTIONS:
+        if name not in self.functions:
             raise ValueError(
                 f"unknown rule {value!r}; available: score, "
-                f"{', '.join(sorted(_RULE_FUNCTIONS))}")
-        builder, params = _RULE_FUNCTIONS[name]
+                f"{', '.join(sorted(self.functions))}")
+        builder, params = self.functions[name]
         self._expect("lparen")
         kwargs: Dict[str, float] = {}
         while True:
@@ -553,9 +567,25 @@ class _PolicyParser:
         return builder(kwargs)
 
 
-def parse_policy(text: str, name: str = "policy") -> AlertPolicy:
-    """Parse a policy expression (see the module docstring for the grammar)."""
+def parse_policy(text: str, name: str = "policy",
+                 functions: Optional[dict] = None) -> AlertPolicy:
+    """Parse a policy expression (see the module docstring for the grammar).
+
+    ``functions`` optionally replaces the rule-function table — a mapping
+    ``atom_name -> (builder, {param: required})`` — so other layers can reuse
+    the grammar and the edge-triggered monitor machinery with their own
+    stateful rules (``repro.adaptation`` does this for drift detection).
+    The ``score <cmp> x`` atom and the ``and``/``or``/parentheses structure
+    are always available.
+
+    Examples
+    --------
+    >>> policy = parse_policy("score > 0.8 and quantile(q=99, window=64)")
+    >>> monitor = policy.monitor("tenant-0")
+    >>> monitor.update(0, 0.1)
+    []
+    """
     if not text or not text.strip():
         raise ValueError("empty policy expression")
-    root = _PolicyParser(text).parse()
+    root = _PolicyParser(text, functions=functions).parse()
     return AlertPolicy(root, name=name, source=text.strip())

@@ -1,6 +1,6 @@
 """Command-line interface for the ImDiffusion reproduction.
 
-Seven subcommands cover the common workflows without writing any code::
+Eight subcommands cover the common workflows without writing any code::
 
     repro detect   --dataset SMD --scale 0.1 --epochs 3
     repro compare  --dataset GCP --detectors ImDiffusion,IForest,LSTM-AD
@@ -11,6 +11,7 @@ Seven subcommands cover the common workflows without writing any code::
     repro serve    --tenants 4 --samples 384 --export-scores scores.jsonl
     repro query    --from scores.jsonl --ops mean:64,quantile:64:99 \\
                    --policy "score > 0.8 and hysteresis(up=0.8, down=0.5)"
+    repro adapt    --dataset DRIFT --scale 0.1 --seed 1
 
 (``python -m repro.cli`` works identically when the package is not
 installed.)  ``detect`` trains ImDiffusion on one benchmark analogue and
@@ -25,11 +26,18 @@ matrix of :mod:`repro.evaluation.matrix` and writes one schema-versioned
 registry metadata;
 ``serve`` runs the multi-tenant streaming service of :mod:`repro.serving` on
 simulated microservice latency streams, sharing one registry-loaded model
-across all tenants (``--policy`` attaches live alert policies,
+across all tenants (``--policy`` attaches live alert policies, ``--adapt``
+attaches the online adaptation loop of :mod:`repro.adaptation`,
 ``--export-scores`` captures every tenant's scored stream as JSONL);
 ``query`` replays such a capture offline through :mod:`repro.analytics` —
 window-function pipelines, sessionized episodes and declarative alert
-policies — without touching a model.
+policies — without touching a model; ``adapt`` runs the end-to-end
+frozen-vs-adapted drift scenario of :mod:`repro.adaptation.scenario` on a
+drifting registry dataset and reports whether online adaptation beat the
+frozen model on the post-drift tail.
+
+The generated command reference lives in ``docs/cli.md`` (rebuild it with
+``python -m repro.cli_reference``).
 """
 
 from __future__ import annotations
@@ -201,13 +209,59 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--export-scores", default=None, metavar="PATH",
                        help="capture every tenant's scored stream to this "
                             "JSONL file for offline `repro query --from`")
+    serve.add_argument("--adapt", default=None, metavar="POLICY",
+                       dest="adapt_policy",
+                       help="attach the online adaptation loop: a drift "
+                            "policy expression or preset (default/sensitive/"
+                            "conservative) evaluated on every tenant's served "
+                            "scores; confirmed drift fine-tunes the model on "
+                            "recent windows, publishes it to --registry and "
+                            "hot-swaps it without restarting scoring workers")
+    _add_adaptation_arguments(serve)
+
+    adapt = subparsers.add_parser(
+        "adapt", help="end-to-end drift scenario: frozen vs online-adapted serving")
+    adapt.add_argument("--dataset", default="DRIFT",
+                       help="registered dataset name (the DRIFT/REGIME/"
+                            "SEASONAL generators are the intended inputs)")
+    adapt.add_argument("--scale", type=float, default=0.1,
+                       help="length multiplier of the dataset")
+    adapt.add_argument("--seed", type=int, default=1)
+    adapt.add_argument("--train-fraction", type=float, default=0.25,
+                       help="fit on only this leading fraction of the "
+                            "training series, so the stream's later drift is "
+                            "genuinely out-of-distribution")
+    adapt.add_argument("--tail-fraction", type=float, default=0.5,
+                       help="final fraction of the stream evaluated as the "
+                            "post-drift tail")
+    adapt.add_argument("--policy", default="default", metavar="SPEC",
+                       help="drift policy expression or preset "
+                            "(default/sensitive/conservative)")
+    adapt.add_argument("--score-workers", type=int, default=1,
+                       help="scoring workers of both serving passes "
+                            "(hot-swaps propagate through the shared-memory "
+                            "generation counter)")
+    adapt.add_argument("--registry", default=None,
+                       help="model registry directory the adapted lineage is "
+                            "published to (default: not published)")
+    adapt.add_argument("--model-name", default="drift-demo",
+                       help="registry lineage name of the published versions")
+    adapt.add_argument("--force-rollback", action="store_true",
+                       help="set the regression tolerance to -1 so every "
+                            "adaptation rolls back, then verify the rolled-"
+                            "back stream is bit-identical to the frozen one")
+    adapt.add_argument("--export", default=None, metavar="PATH",
+                       help="write the scenario result as JSON")
+    _add_adaptation_arguments(adapt)
 
     query = subparsers.add_parser(
         "query", help="windowed analytics and alerting over a captured score stream")
     query.add_argument("--from", dest="from_path", required=True, metavar="PATH",
-                       help="JSONL score capture (one object per line: "
-                            "tenant, index, score, optional label) — e.g. "
-                            "the output of `repro serve --export-scores`")
+                       help="JSONL score capture in the 'repro.scores' v1 "
+                            "schema (optional header line, then one object "
+                            "per line: tenant, index, score, optional label; "
+                            "see docs/architecture.md) — e.g. the output of "
+                            "`repro serve --export-scores`")
     query.add_argument("--tenant", default=None,
                        help="restrict to one tenant (default: all)")
     query.add_argument("--ops", default=None, metavar="PIPELINE",
@@ -230,6 +284,49 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--export", default=None, metavar="PATH",
                        help="re-export the (filtered) streams as JSONL")
     return parser
+
+
+def _add_adaptation_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs of the online adaptation loop, shared by ``serve`` and ``adapt``.
+
+    They map one-to-one onto :class:`repro.adaptation.AdaptationConfig`;
+    the defaults are the config's defaults except where the tiny CLI
+    scenarios need smaller windows.
+    """
+    parser.add_argument("--adapt-epochs", type=int, default=2,
+                        help="fine-tune epoch budget per adaptation")
+    parser.add_argument("--min-adapt-windows", type=int, default=4,
+                        help="buffered fine-tune windows required before an "
+                             "adaptation is attempted (fewer = skip)")
+    parser.add_argument("--adapt-tolerance", type=float, default=0.05,
+                        help="relative held-out error increase tolerated "
+                             "before the swap is rolled back (negative = "
+                             "always roll back)")
+    parser.add_argument("--adapt-cooldown", type=int, default=96,
+                        help="per-tenant quiet points between adaptations")
+    parser.add_argument("--adapt-holdout", type=float, default=0.25,
+                        help="fraction of the snapshot held out for the "
+                             "paired base-vs-candidate evaluation")
+    parser.add_argument("--adapt-reference-points", type=int, default=128,
+                        help="training-tail scores frozen into the drift "
+                             "reference")
+
+
+def _adaptation_config(args: argparse.Namespace, policy: str):
+    from .adaptation import AdaptationConfig
+
+    tolerance = args.adapt_tolerance
+    if getattr(args, "force_rollback", False):
+        tolerance = -1.0
+    return AdaptationConfig(
+        policy=policy,
+        min_adapt_windows=args.min_adapt_windows,
+        adapt_epochs=args.adapt_epochs,
+        holdout_fraction=args.adapt_holdout,
+        regression_tolerance=tolerance,
+        cooldown_points=args.adapt_cooldown,
+        reference_points=args.adapt_reference_points,
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -592,6 +689,21 @@ def _run_serve(args: argparse.Namespace) -> int:
     for tenant in traces:
         service.register_tenant(tenant)
 
+    # --- Optional online adaptation loop. -----------------------------------
+    controller = None
+    if args.adapt_policy:
+        from .adaptation import AdaptationController, training_tail_reference
+
+        reference = training_tail_reference(
+            detector, traces["tenant-0"][0],
+            points=args.adapt_reference_points)
+        controller = AdaptationController(
+            service, reference,
+            config=_adaptation_config(args, args.adapt_policy),
+            registry=registry, model_name=args.model_name)
+        print(f"Online adaptation on ({controller.policy.source}), "
+              f"publishing to lineage {args.model_name!r}")
+
     if args.score_workers > 1:
         print(f"Sharded inference: {args.score_workers} scoring workers")
     print(f"Streaming {args.tenants} tenants x {args.samples} samples ...")
@@ -602,7 +714,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                 if step < test.shape[0]:
                     alarms.extend(service.ingest(tenant, test[step]))
             alarms.extend(service.pump())
+            if controller is not None:
+                controller.poll()
         alarms.extend(service.drain())
+        if controller is not None:
+            controller.poll()
 
     # --- Report accuracy per tenant and service telemetry. ------------------
     print()
@@ -628,6 +744,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"Alert events ({len(events)}):")
         for event in events:
             print(f"  {event.describe()}")
+    if controller is not None:
+        print()
+        print(f"Drift events ({len(controller.drift_events)}):")
+        for drift_event in controller.drift_events:
+            print(f"  {drift_event.describe()}")
+        print(f"Adaptations ({len(controller.history)}):")
+        for record in controller.history:
+            print(f"  {record.describe()}")
+        if controller.active_version is not None:
+            print(f"Serving version: "
+                  f"{ModelRegistry.version_name(args.model_name, controller.active_version)}")
     if args.export_scores:
         from .analytics import export_jsonl
 
@@ -733,6 +860,53 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_adapt(args: argparse.Namespace) -> int:
+    from .adaptation import run_drift_scenario
+    from .serving import ModelRegistry
+
+    registry = ModelRegistry(args.registry) if args.registry else None
+    config = _adaptation_config(args, args.policy)
+    print(f"Drift scenario: {args.dataset} scale={args.scale} "
+          f"seed={args.seed}, policy ({config.policy})"
+          + (", forced rollback" if args.force_rollback else ""))
+    result = run_drift_scenario(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        adaptation=config, score_workers=args.score_workers,
+        registry=registry, model_name=args.model_name,
+        train_fraction=args.train_fraction,
+        tail_fraction=args.tail_fraction)
+    print()
+    for line in result.summary_lines():
+        print(line)
+    if registry is not None:
+        versions = registry.versions(args.model_name)
+        print(f"  registry lineage {args.model_name!r}: "
+              f"{[ModelRegistry.version_name(args.model_name, v) for v in versions]}")
+    if args.force_rollback:
+        status = "OK" if result.bit_identical else "FAILED"
+        print(f"  rollback bit-identity (rolled-back stream == frozen "
+              f"stream): {status}")
+    if args.export:
+        import json
+
+        document = {
+            "dataset": result.dataset,
+            "post_drift_start": result.post_drift_start,
+            "frozen": result.frozen,
+            "adapted": result.adapted,
+            "bit_identical": result.bit_identical,
+            "records": [asdict(record) for record in result.records],
+            "events": [asdict(event) for event in result.events],
+            "metrics": result.metrics,
+        }
+        with open(args.export, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"  wrote {args.export}")
+    if args.force_rollback and not result.bit_identical:
+        return 1
+    return 0
+
+
 def _run_datasets() -> int:
     from .data import DATASET_REGISTRY
 
@@ -762,6 +936,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "adapt":
+        return _run_adapt(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

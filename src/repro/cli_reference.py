@@ -1,0 +1,114 @@
+"""Generate the CLI command reference (``docs/cli.md``) from the parser.
+
+The reference is *derived*, never hand-written: :func:`render_cli_reference`
+walks the live :func:`repro.cli.build_parser` tree — every subcommand, every
+option, its metavar, default and help — and renders deterministic markdown.
+A tier-1 test asserts ``docs/cli.md`` matches this function's output, so the
+docs cannot drift from the code; regenerate with::
+
+    PYTHONPATH=src python -m repro.cli_reference docs/cli.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .cli import build_parser
+
+__all__ = ["render_cli_reference"]
+
+_HEADER = """\
+# `repro` command reference
+
+Every subcommand of the `repro` CLI (also reachable as
+`python -m repro.cli`).  This page is **generated** from the argparse tree
+by `python -m repro.cli_reference docs/cli.md` and kept in sync by a test —
+edit `src/repro/cli.py`, not this file.
+"""
+
+
+def _option_invocation(action: argparse.Action) -> str:
+    flags = ", ".join(f"`{s}`" for s in action.option_strings)
+    if not flags:  # positional
+        return f"`{action.dest}`"
+    if action.metavar:
+        return f"{flags} `{action.metavar}`"
+    if isinstance(action, argparse._StoreAction):
+        return f"{flags} `{action.dest.upper()}`"
+    return flags
+
+
+def _default_text(action: argparse.Action) -> str:
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return ""
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return ""
+    return f" (default: `{action.default}`)"
+
+
+def _help_text(action: argparse.Action) -> str:
+    text = (action.help or "").strip()
+    if text and not text.endswith("."):
+        text += "."
+    return text
+
+
+def _render_subcommand(name: str, sub: argparse.ArgumentParser) -> List[str]:
+    lines = [f"## `repro {name}`", ""]
+    description = (sub.description or "").strip()
+    if description:
+        lines += [description if description.endswith(".") else description + ".",
+                  ""]
+    options = [a for a in sub._actions
+               if not isinstance(a, argparse._HelpAction)]
+    if not options:
+        lines += ["No options.", ""]
+        return lines
+    lines += ["| option | description |", "| --- | --- |"]
+    for action in options:
+        help_text = _help_text(action)
+        if action.choices is not None:
+            choices = ", ".join(f"`{c}`" for c in action.choices)
+            help_text = (help_text + f" Choices: {choices}.").strip()
+        cell = (help_text + _default_text(action)).replace("|", "\\|").strip()
+        lines.append(f"| {_option_invocation(action)} | {cell} |")
+    lines.append("")
+    return lines
+
+
+def render_cli_reference() -> str:
+    """The full markdown reference of the current parser tree."""
+    parser = build_parser()
+    subactions = [a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction)]
+    lines = [_HEADER]
+    for subparsers in subactions:
+        help_by_name = {c.dest: c.help for c in subparsers._choices_actions}
+        lines += ["| subcommand | purpose |", "| --- | --- |"]
+        for name in subparsers.choices:
+            lines.append(f"| [`repro {name}`](#repro-{name}) | "
+                         f"{help_by_name.get(name, '')} |")
+        lines.append("")
+        for name, sub in subparsers.choices.items():
+            if sub.description is None:
+                sub.description = help_by_name.get(name)
+            lines += _render_subcommand(name, sub)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    text = render_cli_reference()
+    if argv:
+        with open(argv[0], "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {argv[0]} ({len(text.splitlines())} lines)")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -284,6 +284,158 @@ class ImDiffusionDetector:
         self.last_train_result = result
         return self
 
+    def fine_tune(self, recent: np.ndarray, epochs: int = 1,
+                  learning_rate: Optional[float] = None,
+                  num_workers: Optional[int] = None,
+                  patience: Optional[int] = None,
+                  validation_fraction: float = 0.0,
+                  seed: Optional[int] = None,
+                  callbacks: Sequence = ()):
+        """Incrementally adapt a *fitted* detector to recent data.
+
+        Unlike :meth:`fit`, this warm-starts from the current weights and
+        **freezes the scaler** (the standardisation learned at training
+        time), so a fine-tuned detector remains hot-swappable under a
+        running :class:`~repro.serving.DetectorService` — window scaling,
+        architecture and sampler trajectory are unchanged; only the denoiser
+        weights move.  The pass runs on a *dedicated* random generator
+        (derived from ``config.seed`` unless ``seed`` is given), so it never
+        consumes the detector's scoring stream: fine-tuning a checkpoint
+        clone leaves the serving detector's random state untouched, which is
+        what makes rollback bit-identical.
+
+        Parameters
+        ----------
+        recent:
+            Array of shape ``(time, features)`` — typically a snapshot of a
+            tenant's raw ring buffer around a drift event.
+        epochs:
+            Fine-tuning epoch budget (early stopping may use fewer).
+        learning_rate:
+            Optimizer step size; defaults to ``config.learning_rate``.
+        num_workers:
+            Gradient workers for the pass (see
+            :class:`~repro.training.ParallelTrainer`); defaults to
+            ``config.num_workers``.
+        patience:
+            When given, adds an :class:`~repro.training.EarlyStopping`
+            callback with this patience (on the held-out loss when
+            ``validation_fraction > 0``, else on the training loss).
+        validation_fraction:
+            Tail fraction of the fine-tune windows held out for the per-epoch
+            validation loss.
+        seed:
+            Seed of the dedicated fine-tune generator (decoupled from the
+            scoring stream); defaults to ``config.seed + 104729``.
+
+        Returns
+        -------
+        The :class:`~repro.training.TrainResult` of the pass (also stored as
+        :attr:`last_train_result`; epoch losses are appended to
+        :attr:`train_losses`/:attr:`val_losses`).
+        """
+        self._check_fitted()
+        config = self.config
+        recent = np.asarray(recent, dtype=np.float64)
+        if recent.ndim != 2 or recent.shape[1] != self._num_features:
+            raise ValueError(
+                f"recent must have shape (time, {self._num_features})")
+        if recent.shape[0] < config.window_size:
+            raise ValueError("recent series is shorter than one window")
+        if epochs < 1:
+            raise ValueError("epochs must be at least 1")
+
+        scaled = self._scaler.transform(recent)
+        train_stride = config.train_stride or recommended_stride(config)
+        windows, _ = sliding_windows(scaled, config.window_size, train_stride)
+
+        rng = np.random.default_rng(
+            config.seed + 104729 if seed is None else seed)
+        (windows,), val_arrays = split_windows(
+            (windows,), validation_fraction, rng, split="tail")
+
+        masks = build_masks(config, config.window_size, self._num_features)
+        masks_arr = np.stack(masks)
+        model = self._imputer.model
+        was_training = model.training
+        model.train()
+        optimizer = Adam(model.parameters(),
+                         lr=learning_rate if learning_rate is not None
+                         else config.learning_rate)
+        spec = ImputationLossSpec(self._imputer, masks_arr)
+        validate_fn = None
+        if val_arrays is not None:
+            validate_fn = self._make_validate_fn(val_arrays[0], masks_arr)
+        tune_callbacks = list(callbacks)
+        if patience is not None:
+            tune_callbacks.append(EarlyStopping(patience=patience,
+                                                restore_best=True))
+        loader = WindowLoader(windows, batch_size=config.batch_size, rng=rng)
+        trainer = ParallelTrainer(
+            model.parameters(), optimizer, spec,
+            num_workers=num_workers if num_workers is not None
+            else config.num_workers,
+            grad_clip=config.grad_clip,
+            callbacks=tune_callbacks,
+            rng=rng,
+            validate_fn=validate_fn,
+        )
+        try:
+            result = trainer.fit(loader, epochs=epochs)
+        finally:
+            if not was_training:
+                model.eval()
+        self.train_losses.extend(result.epoch_losses)
+        self.val_losses.extend(result.val_losses)
+        self.last_train_result = result
+        return result
+
+    def holdout_error(self, series: np.ndarray, seed: int = 0) -> float:
+        """Mean final-step imputation error on ``series`` under fixed noise.
+
+        The evaluation draws all reverse-diffusion noise from a local
+        generator seeded with ``seed`` — common random numbers — so two
+        models compared with the same ``seed`` see *identical* noise and
+        mask trajectories and the comparison is paired.  The detector's own
+        random stream is never consumed, making the call safe on a live
+        serving detector (the adaptation controller uses it to decide
+        publish vs rollback on a held-out tail slice).
+        """
+        self._check_fitted()
+        config = self.config
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2 or series.shape[1] != self._num_features:
+            raise ValueError(
+                f"series must have shape (time, {self._num_features})")
+        if series.shape[0] < config.window_size:
+            raise ValueError("series is shorter than one window")
+        scaled = self._scaler.transform(series)
+        stride = recommended_stride(config)
+        windows, _ = sliding_windows(scaled, config.window_size, stride)
+        masks = build_masks(config, config.window_size, self._num_features)
+        sampler = config.build_sampler()
+        rng = np.random.default_rng(seed)
+
+        model = self._imputer.model
+        was_training = model.training
+        model.eval()
+        total, count = 0.0, 0.0
+        try:
+            for policy_index, mask in enumerate(masks):
+                target_elements = float((1.0 - mask).sum())
+                for chunk_start in range(0, windows.shape[0], config.batch_size):
+                    chunk = windows[chunk_start:chunk_start + config.batch_size]
+                    final = None
+                    for _, squared in self._impute_window_errors(
+                            chunk, mask, policy_index, rng, sampler=sampler):
+                        final = squared
+                    total += float(final.sum())
+                    count += target_elements * chunk.shape[0]
+        finally:
+            if was_training:
+                model.train()
+        return total / max(count, 1.0)
+
     def _make_validate_fn(self, val_windows: np.ndarray, masks_arr: np.ndarray):
         """Held-out denoising loss, evaluated grad-free at each epoch end.
 
@@ -622,6 +774,7 @@ class ImDiffusionDetector:
 
     @property
     def is_fitted(self) -> bool:
+        """Whether :meth:`fit` (or a checkpoint restore) has run."""
         return self._imputer is not None
 
     def _check_fitted(self) -> None:

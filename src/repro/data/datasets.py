@@ -53,10 +53,12 @@ class MTSDataset:
 
     @property
     def num_features(self) -> int:
+        """Number of channels (columns) in the multivariate series."""
         return int(self.train.shape[1])
 
     @property
     def anomaly_ratio(self) -> float:
+        """Fraction of test points labelled anomalous."""
         return float(self.test_labels.mean())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

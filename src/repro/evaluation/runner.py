@@ -49,6 +49,7 @@ class RunMetrics:
 
     @property
     def final_val_loss(self) -> float:
+        """Last validation loss of the run (NaN when none was recorded)."""
         return self.val_losses[-1] if self.val_losses else float("nan")
 
 

@@ -277,10 +277,28 @@ class MultiprocessScoreReducer(ScoreReducer):
             raise
         register_cleanup(self)
 
-    def refresh_parameters(self) -> None:
-        """Re-publish the parent parameters (after a hot weight swap)."""
+    def refresh_parameters(self) -> int:
+        """Re-publish the parent parameters (after a hot weight swap).
+
+        Bumps the shared block's generation counter and returns it; workers
+        pick the new weights up on their next task without restarting.
+        """
         if self._block is not None:
             self._generation = self._block.publish(self.spec.parent_parameters())
+        return self._generation
+
+    @property
+    def generation(self) -> int:
+        """Generation of the most recently published parameter snapshot."""
+        return self._generation
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live scoring workers (hot-swap tests assert these
+        stay fixed across a weight republish)."""
+        if self._pool is None:
+            return []
+        return [process.pid for process in self._pool._processes]
 
     def close(self) -> None:
         pool, self._pool = self._pool, None

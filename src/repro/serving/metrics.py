@@ -66,6 +66,14 @@ class ServiceMetrics:
         self.alerts_fired = 0
         self.alerts_resolved = 0
         self.alerts_by_policy: Dict[str, int] = {}
+        # Online adaptation loop (repro.adaptation) transitions
+        self.drift_events = 0
+        self.drift_recoveries = 0
+        self.adaptations_applied = 0
+        self.adaptations_skipped = 0
+        self.models_published = 0
+        self.rollbacks = 0
+        self.hot_swaps = 0
         # Gauges
         self.queue_depth = 0
         self.active_tenants = 0
@@ -77,6 +85,7 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     def record_batch(self, num_windows: int, points: int, seconds: float,
                      reason: str) -> None:
+        """Account one flushed scoring batch and its latency sample."""
         self.batches_flushed += 1
         self.windows_scored += num_windows
         self.points_scored += points
@@ -92,6 +101,32 @@ class ServiceMetrics:
         else:
             self.alerts_resolved += 1
 
+    def record_drift(self, event) -> None:
+        """Account one :class:`repro.adaptation.DriftEvent` edge."""
+        if event.kind == "drift":
+            self.drift_events += 1
+        else:
+            self.drift_recoveries += 1
+
+    def record_adaptation(self, action: str) -> None:
+        """Account one adaptation outcome (``adapted``/``rolled_back``/``skipped``)."""
+        if action == "adapted":
+            self.adaptations_applied += 1
+        elif action == "rolled_back":
+            self.rollbacks += 1
+        elif action == "skipped":
+            self.adaptations_skipped += 1
+        else:
+            raise ValueError(f"unknown adaptation action {action!r}")
+
+    def record_publish(self) -> None:
+        """Account one model version published to the registry."""
+        self.models_published += 1
+
+    def record_hot_swap(self) -> None:
+        """Account one in-place weight swap under the running service."""
+        self.hot_swaps += 1
+
     def record_alarm_scan(self, seconds: float) -> None:
         """Account one :meth:`DetectorService.collect_alarms` scan."""
         self.alarm_scan_latency.record(seconds)
@@ -105,14 +140,17 @@ class ServiceMetrics:
 
     @property
     def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since the metrics object was created."""
         return max(self.clock() - self.started_at, 1e-9)
 
     @property
     def points_per_second(self) -> float:
+        """Scoring throughput over the lifetime of the service."""
         return self.points_scored / self.elapsed_seconds
 
     @property
     def alarms_per_second(self) -> float:
+        """Alarm rate over the lifetime of the service."""
         return self.alarms_raised / self.elapsed_seconds
 
     # ------------------------------------------------------------------
@@ -127,6 +165,13 @@ class ServiceMetrics:
             "alarms_raised": float(self.alarms_raised),
             "alerts_fired": float(self.alerts_fired),
             "alerts_resolved": float(self.alerts_resolved),
+            "drift_events": float(self.drift_events),
+            "drift_recoveries": float(self.drift_recoveries),
+            "adaptations_applied": float(self.adaptations_applied),
+            "adaptations_skipped": float(self.adaptations_skipped),
+            "models_published": float(self.models_published),
+            "rollbacks": float(self.rollbacks),
+            "hot_swaps": float(self.hot_swaps),
             "backpressure_events": float(self.backpressure_events),
             "points_evicted": float(self.points_evicted),
             "queue_depth": float(self.queue_depth),
@@ -149,6 +194,9 @@ class ServiceMetrics:
         for key in ("active_tenants", "events_ingested", "points_scored",
                     "windows_scored", "batches_flushed", "alarms_raised",
                     "alerts_fired", "alerts_resolved",
+                    "drift_events", "adaptations_applied",
+                    "adaptations_skipped", "models_published", "rollbacks",
+                    "hot_swaps",
                     "backpressure_events", "points_evicted", "queue_depth"):
             lines.append(f"{key:28s} {snap[key]:>10.0f}")
         lines.append(f"{'points_per_second':28s} {snap['points_per_second']:>10.1f}")

@@ -46,7 +46,26 @@ class ModelRecord:
 
 
 class ModelRegistry:
-    """File-system backed catalogue of fitted :class:`ImDiffusionDetector` models."""
+    """File-system backed catalogue of fitted :class:`ImDiffusionDetector` models.
+
+    Models are stored flat, one atomic ``.npz`` checkpoint per name.  Two
+    conventions coexist:
+
+    * **Unversioned** names (``save``/``load``): publishing under an existing
+      name atomically replaces the previous checkpoint.
+    * **Versioned** lineages (``publish_version``/``load_version``): each
+      publish appends an immutable ``name.v<N>`` checkpoint, so the online
+      adaptation loop can roll back to (or audit) any earlier model.
+
+    Examples
+    --------
+    >>> registry = ModelRegistry("/tmp/registry-example")
+    >>> detector.fit(train)                                # doctest: +SKIP
+    >>> registry.save("served", detector)                  # doctest: +SKIP
+    >>> registry.publish_version("served", detector)       # doctest: +SKIP
+    1
+    >>> registry.load_version("served", 1)                 # doctest: +SKIP
+    """
 
     def __init__(self, root: str) -> None:
         self.root = os.path.abspath(root)
@@ -105,6 +124,7 @@ class ModelRegistry:
         )
 
     def list_models(self) -> List[str]:
+        """Sorted names of every checkpoint in the registry directory."""
         names = [
             entry[: -len(_SUFFIX)]
             for entry in os.listdir(self.root)
@@ -113,13 +133,62 @@ class ModelRegistry:
         return sorted(names)
 
     def records(self) -> Dict[str, ModelRecord]:
+        """Metadata records of every registered model, keyed by name."""
         return {name: self.record(name) for name in self.list_models()}
 
     def __contains__(self, name: str) -> bool:
         return os.path.exists(self._path(name))
 
     def delete(self, name: str) -> None:
+        """Remove the checkpoint registered under ``name``."""
         path = self._path(name)
         if not os.path.exists(path):
             raise KeyError(f"no model named {name!r} in registry at {self.root}")
         os.remove(path)
+
+    # ------------------------------------------------------------------
+    # Versioned lineages (the online-adaptation publish/rollback surface)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def version_name(name: str, version: int) -> str:
+        """The registry name of version ``version`` of lineage ``name``."""
+        if version < 1:
+            raise ValueError("versions start at 1")
+        return f"{name}.v{int(version)}"
+
+    def versions(self, name: str) -> List[int]:
+        """All published versions of lineage ``name``, ascending."""
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(f"invalid model name {name!r}")
+        pattern = re.compile(re.escape(name) + r"\.v(\d+)$")
+        found = []
+        for registered in self.list_models():
+            match = pattern.match(registered)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> Optional[int]:
+        """The newest published version of ``name`` (``None`` if none)."""
+        published = self.versions(name)
+        return published[-1] if published else None
+
+    def publish_version(self, name: str, detector: ImDiffusionDetector,
+                        metadata: Optional[dict] = None) -> int:
+        """Publish ``detector`` as the next version of lineage ``name``.
+
+        Versions are immutable and dense: the first publish creates
+        ``name.v1``, the next ``name.v2``, and so on.  Returns the new
+        version number.
+        """
+        version = (self.latest_version(name) or 0) + 1
+        extra = dict(metadata or {})
+        extra.setdefault("model", name)
+        extra.setdefault("version", version)
+        self.save(self.version_name(name, version), detector, extra)
+        return version
+
+    def load_version(self, name: str, version: int) -> ImDiffusionDetector:
+        """Rebuild one published version; raises ``KeyError`` if its
+        checkpoint is missing (e.g. deleted by retention)."""
+        return self.load(self.version_name(name, version))

@@ -174,6 +174,21 @@ class IncrementalScorer:
     def dropped_points(self, tenant: str) -> int:
         return self._state(tenant).dropped_points
 
+    def buffered_points(self, tenant: str) -> int:
+        """Raw points currently retained in the tenant's ring buffer."""
+        return self._state(tenant).raw.size
+
+    def raw_tail(self, tenant: str, count: int) -> np.ndarray:
+        """Copy of the newest ``count`` retained *unscaled* raw points.
+
+        This is the adaptation controller's window-snapshot hook: on a
+        confirmed drift event it grabs the recent span of the tenant's ring
+        buffer as fine-tuning data.  Returns at most the retained size.
+        """
+        ring = self._state(tenant).raw
+        count = min(int(count), ring.size)
+        return np.array(ring.view(ring.end_index - count, ring.end_index))
+
     # ------------------------------------------------------------------
     # Ingestion and window formation
     # ------------------------------------------------------------------
@@ -330,6 +345,74 @@ class IncrementalScorer:
             labels=labels,
             scores=view[:, self.num_steps - 1],
         )
+
+    # ------------------------------------------------------------------
+    # Hot weight swap
+    # ------------------------------------------------------------------
+    def swap_detector(self, source: ImDiffusionDetector) -> int:
+        """Copy ``source``'s weights into the serving detector, in place.
+
+        The serving swap of the adaptation loop: denoiser parameters and
+        scaler statistics are copied **into the existing arrays** (object
+        identity is preserved, so every live reference — score specs,
+        shared-memory publishers — sees the new values), then a
+        multiprocess reducer re-publishes to its shared block, bumping the
+        generation counter so scoring workers pick the new weights up on
+        their next task *without restarting*.  Returns the new parameter
+        generation (0 for the in-process serial reducer).
+
+        ``source`` must be scoring-compatible: same feature count, window
+        size and sampler trajectory length (the per-tenant score caches are
+        keyed by collected denoising step).  Tenant buffers, score caches
+        and the detector's random stream are untouched — swapping in a
+        bitwise-equal copy of the current weights leaves every future score
+        bit-identical, which is what makes rollback exact.
+        """
+        if not source.is_fitted:
+            raise ValueError("swap_detector requires a fitted source detector")
+        if int(source.num_features) != self.num_features:
+            raise ValueError(
+                f"feature mismatch: serving {self.num_features}, "
+                f"source {source.num_features}")
+        if source.config.window_size != self.window_size:
+            raise ValueError(
+                f"window mismatch: serving {self.window_size}, "
+                f"source {source.config.window_size}")
+        if source.config.inference_steps != self.num_steps:
+            raise ValueError(
+                f"trajectory mismatch: serving collects {self.num_steps} "
+                f"steps, source collects {source.config.inference_steps}")
+        target = dict(self.detector._imputer.model.named_parameters())
+        replacement = source._imputer.model.state_dict()
+        if set(target) != set(replacement):
+            raise ValueError("architecture mismatch: parameter names differ")
+        for name, parameter in target.items():
+            value = np.asarray(replacement[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"parameter {name!r} has shape {parameter.data.shape} "
+                    f"but source provides {value.shape}")
+        for name, parameter in target.items():
+            np.copyto(parameter.data, np.asarray(replacement[name],
+                                                 dtype=np.float64))
+        np.copyto(self.detector._scaler.mean_,
+                  np.asarray(source._scaler.mean_, dtype=np.float64))
+        np.copyto(self.detector._scaler.std_,
+                  np.asarray(source._scaler.std_, dtype=np.float64))
+        refresh = getattr(self._reducer, "refresh_parameters", None)
+        if refresh is not None:
+            return int(refresh())
+        return 0
+
+    @property
+    def parameter_generation(self) -> int:
+        """Generation of the published parameter snapshot (0 when serial)."""
+        return int(getattr(self._reducer, "generation", 0))
+
+    @property
+    def worker_pids(self) -> list:
+        """PIDs of the score worker processes (empty for the serial reducer)."""
+        return list(getattr(self._reducer, "worker_pids", []))
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -121,6 +121,7 @@ class DetectorService:
         self.metrics.active_tenants = len(self.scorer.tenants())
 
     def tenants(self) -> List[str]:
+        """Registered tenant names, sorted."""
         return self.scorer.tenants()
 
     # ------------------------------------------------------------------
@@ -163,6 +164,7 @@ class DetectorService:
         return self.collect_alarms()
 
     def ingest_event(self, event: TelemetryEvent) -> List[Alarm]:
+        """Push one :class:`~repro.serving.router.TelemetryEvent` (see :meth:`ingest`)."""
         return self.ingest(event.tenant, np.atleast_2d(event.values))
 
     # ------------------------------------------------------------------
@@ -237,6 +239,25 @@ class DetectorService:
     def tenant_view(self, tenant: str) -> ScoreView:
         """Current labels/scores over one tenant's retained evaluation buffer."""
         return self.scorer.decide(tenant)
+
+    # ------------------------------------------------------------------
+    # Online adaptation
+    # ------------------------------------------------------------------
+    def hot_swap(self, detector: ImDiffusionDetector) -> int:
+        """Swap the serving model's weights in place, without a restart.
+
+        Delegates to :meth:`IncrementalScorer.swap_detector`: weights and
+        scaler statistics are copied into the live arrays and, under
+        ``score_workers > 1``, re-published to the shared-memory parameter
+        block — the generation counter bump makes every scoring worker pick
+        the new weights up on its next task.  Tenant state, score caches and
+        the scoring random stream are untouched.  Returns the new parameter
+        generation (0 when scoring in-process) and counts the transition in
+        :attr:`metrics`.
+        """
+        generation = self.scorer.swap_detector(detector)
+        self.metrics.record_hot_swap()
+        return generation
 
     # ------------------------------------------------------------------
     # Lifecycle

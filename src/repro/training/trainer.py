@@ -113,10 +113,12 @@ class TrainResult:
 
     @property
     def final_loss(self) -> float:
+        """Training loss of the last epoch (NaN before any epoch ran)."""
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
     @property
     def final_val_loss(self) -> float:
+        """Validation loss of the last epoch (NaN when validation is off)."""
         return self.val_losses[-1] if self.val_losses else float("nan")
 
 

@@ -1,0 +1,187 @@
+"""Drift rules: incremental vs full-recompute bitwise, edges, parsing."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import (
+    DRIFT_POLICY_PRESETS,
+    DriftMonitor,
+    DriftReference,
+    ErrorShiftRule,
+    KSRule,
+    PSIRule,
+    QuantileShiftRule,
+    drift_statistics,
+    parse_drift_policy,
+)
+
+RULES = [
+    (QuantileShiftRule, dict(q=90.0, window=16, ratio=1.2)),
+    (ErrorShiftRule, dict(window=16, ratio=1.2)),
+    (PSIRule, dict(window=24, threshold=0.1)),
+    (KSRule, dict(window=24, threshold=0.2)),
+]
+
+
+def _reference(seed=0, n=400):
+    rng = np.random.default_rng(seed)
+    return DriftReference(np.abs(rng.normal(size=n)) + 0.1)
+
+
+# ----------------------------------------------------------------------
+# DriftReference
+# ----------------------------------------------------------------------
+def test_reference_statistics_deterministic():
+    a, b = _reference(3), _reference(3)
+    assert a.mean == b.mean
+    assert np.array_equal(a.sample, b.sample)
+    assert np.array_equal(a.bin_edges, b.bin_edges)
+    assert np.array_equal(a.bin_fractions, b.bin_fractions)
+
+
+def test_reference_quantile_matches_numpy():
+    ref = _reference(1)
+    assert ref.quantile(90.0) == float(np.quantile(ref.sample, 0.9))
+
+
+def test_reference_psi_zero_on_itself():
+    ref = _reference(2)
+    # The PSI of the reference sample against itself is ~0 (smoothing only).
+    assert abs(ref.psi(ref.sample)) < 1e-9
+
+
+def test_reference_ks_bounds():
+    ref = _reference(4)
+    rng = np.random.default_rng(9)
+    window = rng.normal(loc=10.0, size=64)
+    assert 0.9 < ref.ks(window) <= 1.0
+    assert ref.ks(ref.sample) < 0.05
+
+
+def test_reference_rejects_bad_input():
+    with pytest.raises(ValueError):
+        DriftReference(np.array([1.0]))
+    with pytest.raises(ValueError):
+        DriftReference(np.array([1.0, np.nan, 2.0]))
+    with pytest.raises(ValueError):
+        DriftReference(np.arange(10.0), bins=1)
+
+
+# ----------------------------------------------------------------------
+# Incremental vs reference: bitwise agreement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls,kwargs", RULES, ids=lambda p: getattr(p, "__name__", ""))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_incremental_matches_reference_bitwise(cls, kwargs, seed):
+    ref = _reference(seed)
+    rng = np.random.default_rng(100 + seed)
+    stream = np.concatenate([
+        np.abs(rng.normal(size=80)) + 0.1,
+        np.abs(rng.normal(loc=3.0, size=80)) + 0.1,
+        np.abs(rng.normal(size=40)) + 0.1,
+    ])
+    rule = cls(ref, **kwargs)
+    flags = np.array([rule.update(i, float(s)) for i, s in enumerate(stream)])
+    assert np.array_equal(flags, rule.clone().reference(stream))
+
+
+@pytest.mark.parametrize("cls,kwargs", RULES, ids=lambda p: getattr(p, "__name__", ""))
+def test_rule_warmup_reset_and_clone(cls, kwargs):
+    ref = _reference(5)
+    rule = cls(ref, **kwargs)
+    window = kwargs["window"]
+    for i in range(window - 1):
+        assert rule.update(i, 0.5) is False
+        assert np.isnan(rule.last_statistic)
+    rule.update(window - 1, 0.5)
+    assert np.isfinite(rule.last_statistic)
+    rule.reset()
+    assert np.isnan(rule.last_statistic)
+    assert rule.update(0, 0.5) is False  # warming up again
+    clone = rule.clone()
+    assert clone.describe() == rule.describe()
+    assert clone is not rule
+
+
+def test_rule_fires_on_shift_not_in_distribution():
+    ref = _reference(6)
+    rule = ErrorShiftRule(ref, window=16, ratio=1.5)
+    rng = np.random.default_rng(7)
+    calm = [rule.update(i, float(s))
+            for i, s in enumerate(np.abs(rng.normal(size=64)) + 0.1)]
+    assert not any(calm)
+    shifted = [rule.update(64 + i, float(s))
+               for i, s in enumerate(np.abs(rng.normal(loc=4.0, size=32)) + 0.1)]
+    assert any(shifted)
+
+
+# ----------------------------------------------------------------------
+# Parsing and presets
+# ----------------------------------------------------------------------
+def test_presets_parse_and_describe():
+    ref = _reference(8)
+    for name, source in DRIFT_POLICY_PRESETS.items():
+        policy = parse_drift_policy(name, ref)
+        assert policy.source == source
+
+
+def test_parse_expression_and_combinators():
+    ref = _reference(8)
+    policy = parse_drift_policy(
+        "quantile_shift(q=80, window=8, ratio=1.1) and "
+        "(error_shift(window=8) or ks(window=8, threshold=0.5))", ref)
+    monitor = DriftMonitor(policy, "t")
+    stats = drift_statistics(monitor._monitor.root)
+    assert set(stats) == {
+        "quantile_shift(q=80, window=8, ratio=1.1)",
+        "error_shift(window=8, ratio=1.5)",
+        "ks(window=8, threshold=0.5)",
+    }
+
+
+def test_parse_rejects_unknown_atom_and_bad_params():
+    ref = _reference(8)
+    with pytest.raises(ValueError):
+        parse_drift_policy("volatility(window=8)", ref)
+    with pytest.raises(ValueError):
+        parse_drift_policy("quantile_shift(q=200, window=8)", ref)
+
+
+# ----------------------------------------------------------------------
+# DriftMonitor edges
+# ----------------------------------------------------------------------
+def test_monitor_emits_edge_triggered_events():
+    ref = _reference(9)
+    policy = parse_drift_policy("error_shift(window=8, ratio=1.5)", ref)
+    monitor = DriftMonitor(policy, "tenant-7")
+    events = []
+    stream = np.concatenate([
+        np.full(32, ref.mean), np.full(32, 5.0 * ref.mean),
+        np.full(32, ref.mean)])
+    for i, s in enumerate(stream):
+        events.extend(monitor.update(i, float(s)))
+    kinds = [e.kind for e in events]
+    assert kinds == ["drift", "recovered"]
+    assert all(e.tenant == "tenant-7" for e in events)
+    drift = events[0]
+    assert drift.statistics  # leaf statistics captured at the edge
+    assert "error_shift(window=8, ratio=1.5)" in drift.statistics
+    assert "drift" in drift.describe()
+
+
+def test_monitor_reset_rearms_without_event():
+    ref = _reference(10)
+    policy = parse_drift_policy("error_shift(window=4, ratio=1.5)", ref)
+    monitor = DriftMonitor(policy, "t")
+    events = []
+    for i in range(16):
+        events.extend(monitor.update(i, 9.0 * ref.mean))
+    assert [e.kind for e in events] == ["drift"]
+    assert monitor.active
+    monitor.reset()
+    assert not monitor.active
+    # After reset the rule warms up again, then re-fires a fresh edge.
+    more = []
+    for i in range(16, 32):
+        more.extend(monitor.update(i, 9.0 * ref.mean))
+    assert [e.kind for e in more] == ["drift"]

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.analytics import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
     ScoreStore,
     export_jsonl,
     load_jsonl,
@@ -159,3 +161,36 @@ class TestJsonlRoundTrip:
         path = tmp_path / "scores.jsonl"
         assert export_jsonl(path, streams) == 5
         assert np.array_equal(load_jsonl(path)["a"].scores, streams["a"].scores)
+
+
+class TestSchemaHeader:
+    def test_export_writes_versioned_header_first(self, tmp_path):
+        import json
+
+        store = ScoreStore(history=16)
+        fill(store, "a", 5, seed=6)
+        path = tmp_path / "scores.jsonl"
+        # The header is metadata: the returned count is data rows only.
+        assert export_jsonl(path, store) == 5
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION}
+        assert SCHEMA_NAME == "repro.scores" and SCHEMA_VERSION == 1
+
+    def test_load_tolerates_headerless_capture(self, tmp_path):
+        store = ScoreStore(history=16)
+        fill(store, "a", 5, seed=7)
+        path = tmp_path / "scores.jsonl"
+        export_jsonl(path, store)
+        lines = path.read_text().strip().split("\n")
+        path.write_text("\n".join(lines[1:]) + "\n")  # strip the header
+        loaded = load_jsonl(path)["a"]
+        assert np.array_equal(loaded.scores, store.view("a").scores)
+
+    def test_load_rejects_foreign_schema_and_newer_version(self, tmp_path):
+        path = tmp_path / "scores.jsonl"
+        path.write_text('{"schema": "other.format", "version": 1}\n')
+        with pytest.raises(ValueError, match="unknown schema"):
+            load_jsonl(path)
+        path.write_text('{"schema": "repro.scores", "version": 2}\n')
+        with pytest.raises(ValueError, match="newer than"):
+            load_jsonl(path)

@@ -1,0 +1,219 @@
+"""Hot-swap edge cases: mid-stream swaps, worker survival, broken rollbacks."""
+
+import numpy as np
+import pytest
+
+from repro import ImDiffusionConfig, ImDiffusionDetector
+from repro.adaptation import AdaptationConfig, AdaptationController, training_tail_reference
+from repro.serving import DetectorService, ModelRegistry, ServingConfig
+
+WINDOW = 16
+
+
+def make_series(length, channels=3, seed=0, shift=0.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.sin(2 * np.pi * t / 32)[:, None] * np.ones((1, channels))
+    return base + 0.1 * rng.standard_normal((length, channels)) + shift
+
+
+def make_detector(seed=0, epochs=1, **overrides):
+    config = ImDiffusionConfig(
+        window_size=WINDOW, num_steps=4, epochs=epochs, hidden_dim=8,
+        num_blocks=1, num_heads=2, max_train_windows=12,
+        num_masked_windows=2, num_unmasked_windows=2,
+        deterministic_inference=True, collect="x0", train_stride=8,
+        seed=seed, **overrides)
+    return ImDiffusionDetector(config).fit(make_series(200, seed=1))
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return make_detector()
+
+
+@pytest.fixture(scope="module")
+def other_detector():
+    # Same shapes, different weights (longer training, different seed).
+    return make_detector(seed=7, epochs=2)
+
+
+def clone(detector):
+    return ImDiffusionDetector.from_checkpoint(*detector.to_checkpoint())
+
+
+def stream_through(service, stream, swap_at=None, swap_source=None, chunk=8):
+    """Ingest ``stream`` in chunks, optionally hot-swapping mid-stream.
+
+    Returns ``(view, generations, swap_mark)`` where ``swap_mark`` is how
+    far scoring had progressed when the swap happened — points beyond it
+    (including windows still queued in the micro-batcher) are scored by the
+    *new* weights.
+    """
+    generations = []
+    swap_mark = None
+    for start in range(0, stream.shape[0], chunk):
+        service.ingest("t0", stream[start:start + chunk])
+        if swap_at is not None and start == swap_at:
+            swap_mark = service.scorer.scored_until("t0")
+            generations.append(service.hot_swap(swap_source))
+    service.drain()
+    return service.tenant_view("t0"), generations, swap_mark
+
+
+# ----------------------------------------------------------------------
+# Identity-swap invariance (the rollback primitive), in-process
+# ----------------------------------------------------------------------
+def test_identity_swap_mid_stream_is_bit_identical(detector):
+    stream = make_series(96, seed=5)
+    plain = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=96))
+    plain.register_tenant("t0")
+    with plain:
+        base_view, _, _ = stream_through(plain, stream)
+
+    swapped = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=96))
+    swapped.register_tenant("t0")
+    with swapped:
+        view, generations, _ = stream_through(
+            swapped, stream, swap_at=48, swap_source=clone(detector))
+    assert generations == [0]  # in-process reducer has no generation counter
+    assert swapped.metrics.hot_swaps == 1
+    assert np.array_equal(base_view.scores, view.scores, equal_nan=True)
+    assert np.array_equal(base_view.labels, view.labels)
+
+
+def test_real_swap_mid_stream_changes_only_later_scores(detector, other_detector):
+    stream = make_series(96, seed=5)
+    plain = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=96))
+    plain.register_tenant("t0")
+    with plain:
+        base_view, _, _ = stream_through(plain, stream)
+
+    swapped = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=96))
+    swapped.register_tenant("t0")
+    with swapped:
+        view, _, mark = stream_through(
+            swapped, stream, swap_at=48, swap_source=clone(other_detector))
+    # Everything scored before the swap is untouched...
+    assert np.array_equal(base_view.scores[:mark], view.scores[:mark],
+                          equal_nan=True)
+    # ...and points after it (including windows that were still queued at
+    # swap time) are scored by the new weights.
+    assert not np.array_equal(base_view.scores[mark:], view.scores[mark:],
+                              equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Publish-while-scoring under multiprocess workers
+# ----------------------------------------------------------------------
+def test_swap_under_workers_bumps_generation_without_restarts(detector, other_detector):
+    stream = make_series(96, seed=5)
+    service = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=96, score_workers=2))
+    service.register_tenant("t0")
+    with service:
+        pids_before = service.scorer.worker_pids
+        assert len(pids_before) == 2
+        assert service.scorer.parameter_generation == 1  # initial publish
+        view, generations, _ = stream_through(
+            service, stream, swap_at=48, swap_source=clone(other_detector))
+        assert generations == [2]  # publish bumped the shared generation
+        assert service.scorer.parameter_generation == 2
+        # Scoring continued on the same worker processes: no restarts.
+        assert service.scorer.worker_pids == pids_before
+    assert service.metrics.hot_swaps == 1
+    assert view.end == 96
+
+
+def test_identity_swap_under_workers_is_bit_identical(detector):
+    stream = make_series(96, seed=6)
+
+    def run(swap):
+        service = DetectorService(clone(detector), ServingConfig(
+            flush_size=4, flush_age=3600.0, history=96, score_workers=2))
+        service.register_tenant("t0")
+        with service:
+            view, _, _ = stream_through(
+                service, stream,
+                swap_at=48 if swap else None,
+                swap_source=clone(detector) if swap else None)
+        return view
+
+    base, swapped = run(False), run(True)
+    assert np.array_equal(base.scores, swapped.scores, equal_nan=True)
+    assert np.array_equal(base.labels, swapped.labels)
+
+
+# ----------------------------------------------------------------------
+# Swap validation
+# ----------------------------------------------------------------------
+def test_swap_rejects_incompatible_detectors(detector):
+    service = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=64))
+    service.register_tenant("t0")
+    with service:
+        narrow = ImDiffusionDetector(ImDiffusionConfig(
+            window_size=WINDOW, num_steps=4, epochs=1, hidden_dim=8,
+            num_blocks=1, num_heads=2, max_train_windows=12,
+            num_masked_windows=2, num_unmasked_windows=2,
+            deterministic_inference=True, collect="x0", seed=0))
+        narrow.fit(make_series(120, channels=2, seed=2))
+        with pytest.raises(ValueError, match="feature mismatch"):
+            service.hot_swap(narrow)
+        unfitted = ImDiffusionDetector(detector.config)
+        with pytest.raises(ValueError, match="fitted"):
+            service.hot_swap(unfitted)
+    assert service.metrics.hot_swaps == 0
+
+
+# ----------------------------------------------------------------------
+# Rollback to a version whose checkpoint was deleted
+# ----------------------------------------------------------------------
+def test_rollback_to_deleted_version_raises_and_preserves_weights(
+        detector, other_detector, tmp_path):
+    registry = ModelRegistry(tmp_path)
+    service = DetectorService(clone(detector), ServingConfig(
+        flush_size=4, flush_age=3600.0, history=64))
+    service.register_tenant("t0")
+    reference = training_tail_reference(detector, make_series(200, seed=1),
+                                        points=96)
+    controller = AdaptationController(
+        service, reference, registry=registry, model_name="served",
+        config=AdaptationConfig(policy="sensitive", min_adapt_windows=2,
+                                adapt_epochs=1, reference_points=96))
+    assert registry.versions("served") == [1]
+    registry.publish_version("served", other_detector)
+    assert registry.versions("served") == [1, 2]
+
+    with service:
+        service.ingest("t0", make_series(48, seed=9))
+        service.drain()
+        before = {name: param.data.copy()
+                  for name, param
+                  in service.scorer.detector._imputer.model.named_parameters()}
+        registry.delete(ModelRegistry.version_name("served", 2))
+        with pytest.raises(KeyError):
+            controller.rollback_to(2)
+        after = {name: param.data
+                 for name, param
+                 in service.scorer.detector._imputer.model.named_parameters()}
+        assert all(np.array_equal(before[name], after[name]) for name in before)
+        assert service.metrics.hot_swaps == 0
+        # An existing version still rolls back fine.
+        generation = controller.rollback_to(1)
+        assert generation == 0
+        assert service.metrics.hot_swaps == 1
+
+
+def test_rollback_without_registry_is_an_error(detector):
+    service = DetectorService(clone(detector), ServingConfig(history=64))
+    reference = training_tail_reference(detector, make_series(200, seed=1),
+                                        points=96)
+    controller = AdaptationController(service, reference)
+    with pytest.raises(ValueError, match="registry"):
+        controller.rollback_to(1)
+    service.close()

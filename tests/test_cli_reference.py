@@ -1,0 +1,28 @@
+"""docs/cli.md is generated — this test keeps it in sync with the parser."""
+
+from pathlib import Path
+
+from repro.cli_reference import render_cli_reference
+
+DOCS = Path(__file__).resolve().parent.parent / "docs" / "cli.md"
+
+
+def test_cli_reference_covers_every_subcommand():
+    text = render_cli_reference()
+    from repro.cli import build_parser
+    import argparse
+
+    parser = build_parser()
+    subactions = [a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction)]
+    commands = [c.dest for sub in subactions for c in sub._choices_actions]
+    assert commands, "parser exposes no subcommands?"
+    for command in commands:
+        assert f"## `repro {command}`" in text
+
+
+def test_docs_cli_md_is_current():
+    assert DOCS.exists(), "docs/cli.md missing — python -m repro.cli_reference docs/cli.md"
+    assert DOCS.read_text() == render_cli_reference(), (
+        "docs/cli.md is stale; regenerate with "
+        "`PYTHONPATH=src python -m repro.cli_reference docs/cli.md`")

@@ -1,0 +1,133 @@
+"""Documentation smoke-checker: links resolve, python blocks execute.
+
+Run from the repository root (CI's ``docs`` job does exactly this):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+* every relative markdown link / image points at an existing file, and a
+  ``#fragment`` on a local markdown target matches a heading anchor in it
+  (external ``http(s)://`` links are only syntax-checked, never fetched);
+* every fenced ``python`` block in ``docs/*.md`` executes without raising
+  (blocks are independent; add ``<!-- check_docs: skip -->`` on the line
+  directly above a fence to exclude a block that needs external state).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+SKIP_MARK = "check_docs: skip"
+
+
+def heading_anchor(title: str) -> str:
+    """GitHub-style anchor for a heading title."""
+    title = re.sub(r"[`*_]", "", title.strip().lower())
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    for line in path.read_text().splitlines():
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(heading_anchor(match.group(1)))
+    return anchors
+
+
+def iter_docs():
+    yield ROOT / "README.md"
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced code blocks so their contents aren't link-checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line) or line.strip() == "```":
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(path: Path) -> list:
+    problems = []
+    for target in LINK_RE.findall(strip_code(path.read_text())):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+        elif fragment and resolved.suffix == ".md":
+            if heading_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(ROOT)}: missing anchor -> {target}")
+    return problems
+
+
+def python_blocks(path: Path):
+    lines = path.read_text().splitlines()
+    block, language, start, skip_next = [], None, 0, False
+    for number, line in enumerate(lines, 1):
+        fence = FENCE_RE.match(line)
+        if language is None:
+            if fence and fence.group(1) == "python":
+                if skip_next:
+                    language, skip_next = "skipped", None
+                else:
+                    language, block, start = "python", [], number
+            elif fence:
+                language = "other"
+            skip_next = SKIP_MARK in line
+        elif line.strip() == "```":
+            if language == "python":
+                yield start, "\n".join(block)
+            language = None
+        elif language == "python":
+            block.append(line)
+
+
+def check_python(path: Path) -> list:
+    problems = []
+    for start, source in python_blocks(path):
+        where = f"{path.relative_to(ROOT)}:{start}"
+        try:
+            exec(compile(source, where, "exec"), {"__name__": "__docs__"})
+        except Exception as error:  # noqa: BLE001 - report, keep checking
+            problems.append(f"{where}: python block failed: {error!r}")
+        else:
+            print(f"ok: python block at {where}")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for path in iter_docs():
+        if not path.exists():
+            problems.append(f"missing documentation file: {path}")
+            continue
+        problems.extend(check_links(path))
+        if path.parent.name == "docs":
+            problems.extend(check_python(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
